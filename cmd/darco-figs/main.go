@@ -1,0 +1,118 @@
+// Command darco-figs regenerates the paper's evaluation figures
+// (Figures 5–11) as tables. Each figure's series are printed in the
+// same units the paper plots.
+//
+// Usage:
+//
+//	darco-figs                  # all figures, full catalog
+//	darco-figs -fig 6           # one figure
+//	darco-figs -scale 2 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/darco"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 8, 9, 10, 11, all")
+	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
+	csv := flag.Bool("csv", false, "emit CSV")
+	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	benches := flag.String("benchmarks", "", "comma-separated subset of benchmarks")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	opts.Config = darco.DefaultConfig()
+	opts.Config.TOL.Cosim = *cosim
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	r, err := experiments.NewRunner(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	emit := func(t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+		fmt.Println()
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("5a") || want("5b") || want("5") {
+		ta, tb, err := r.Fig5()
+		if err != nil {
+			die(err)
+		}
+		if want("5a") || want("5") {
+			emit(ta)
+		}
+		if want("5b") || want("5") {
+			emit(tb)
+		}
+	}
+	if want("6") {
+		t, err := r.Fig6()
+		if err != nil {
+			die(err)
+		}
+		emit(t)
+	}
+	if want("7") {
+		t, err := r.Fig7()
+		if err != nil {
+			die(err)
+		}
+		emit(t)
+	}
+	if want("8") {
+		t, err := r.Fig8()
+		if err != nil {
+			die(err)
+		}
+		emit(t)
+	}
+	if want("9") {
+		t, err := r.Fig9()
+		if err != nil {
+			die(err)
+		}
+		emit(t)
+	}
+	if want("10") {
+		t, err := r.Fig10()
+		if err != nil {
+			die(err)
+		}
+		emit(t)
+	}
+	if want("11") {
+		ta, tb, err := r.Fig11()
+		if err != nil {
+			die(err)
+		}
+		emit(ta)
+		emit(tb)
+	}
+}

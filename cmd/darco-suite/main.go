@@ -1,0 +1,98 @@
+// Command darco-suite runs benchmark suites through the simulation
+// infrastructure and prints a per-benchmark summary (the quantities
+// behind Figures 5–8 in one table), plus suite averages.
+//
+// Usage:
+//
+//	darco-suite [-scale f] [-suite name] [-bench name] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/darco"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
+	suite := flag.String("suite", "", "restrict to one suite (int, fp, physics, media)")
+	bench := flag.String("bench", "", "restrict to one benchmark (exact name)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	cosim := flag.Bool("cosim", true, "verify execution against the authoritative emulator")
+	verbose := flag.Bool("v", false, "progress to stderr")
+	flag.Parse()
+
+	specs := workload.Catalog()
+	if *suite != "" {
+		m := map[string]workload.Suite{
+			"int": workload.SPECInt, "fp": workload.SPECFP,
+			"physics": workload.Physics, "media": workload.Media,
+		}
+		su, ok := m[strings.ToLower(*suite)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+			os.Exit(2)
+		}
+		specs = workload.BySuite(su)
+	}
+	if *bench != "" {
+		s, err := workload.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = []workload.Spec{s}
+	}
+
+	t := stats.NewTable("DARCO suite summary",
+		"benchmark", "suite", "guest-dyn", "static", "ratio", "cycles", "IPC",
+		"tol%", "im%", "bbm%", "sbm%", "dyn-sbm%", "sbs", "ind/K", "chains", "transitions")
+
+	for _, s := range specs {
+		s = s.Scale(*scale)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "running %s...\n", s.Name)
+		}
+		p, err := s.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg := darco.DefaultConfig()
+		cfg.TOL.Cosim = *cosim
+		res, err := darco.Run(p, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		dyn := float64(res.GuestDyn())
+		cyc := float64(res.Timing.Cycles)
+		comp := func(c timing.Component) string {
+			return fmt.Sprintf("%.1f", 100*res.Timing.ComponentCycles(c)/cyc)
+		}
+		t.AddRow(s.Name, s.Suite.String(),
+			fmt.Sprint(res.GuestDyn()),
+			fmt.Sprint(res.TOL.StaticTotal()),
+			fmt.Sprintf("%.0f", res.DynamicStaticRatio()),
+			fmt.Sprint(res.Timing.Cycles),
+			fmt.Sprintf("%.2f", res.Timing.IPC()),
+			fmt.Sprintf("%.1f", 100*res.Timing.TOLShare()),
+			comp(timing.CompIM), comp(timing.CompBBM), comp(timing.CompSBM),
+			fmt.Sprintf("%.1f", 100*float64(res.TOL.DynSBM)/dyn),
+			fmt.Sprint(res.TOL.SBCreated),
+			fmt.Sprintf("%.1f", 1000*float64(res.TOL.IndirectDyn)/dyn),
+			fmt.Sprint(res.TOL.Chains),
+			fmt.Sprint(res.TOL.Transitions))
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+}

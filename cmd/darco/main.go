@@ -1,0 +1,170 @@
+// Command darco runs one benchmark (or a catalog listing) through the
+// full simulation infrastructure and prints the detailed result: the
+// execution-time breakdown, TOL component split, cache/branch
+// statistics and co-design activity counters.
+//
+// Usage:
+//
+//	darco -bench 400.perlbench [-scale f] [-mode shared|app-only|tol-only|split]
+//	darco -list
+//	darco -print-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/darco"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
+	mode := flag.String("mode", "shared", "timing mode: shared, app-only, tol-only, split")
+	list := flag.Bool("list", false, "list catalog benchmarks and exit")
+	printConfig := flag.Bool("print-config", false, "print the Table I host configuration and exit")
+	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
+	sbth := flag.Int("sbth", 0, "override BB/SBth promotion threshold")
+	bbth := flag.Int("bbth", 0, "override IM/BBth promotion threshold")
+	flag.Parse()
+
+	if *printConfig {
+		dumpConfig()
+		return
+	}
+	if *list {
+		for _, s := range workload.Catalog() {
+			fmt.Printf("%-22s %s\n", s.Name, s.Suite)
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "darco: -bench required (or -list / -print-config)")
+		os.Exit(2)
+	}
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec = spec.Scale(*scale)
+	p, err := spec.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := darco.DefaultConfig()
+	cfg.TOL.Cosim = *cosim
+	if *sbth > 0 {
+		cfg.TOL.SBThreshold = *sbth
+	}
+	if *bbth > 0 {
+		cfg.TOL.BBThreshold = *bbth
+	}
+	switch *mode {
+	case "shared":
+		cfg.Mode = timing.ModeShared
+	case "app-only":
+		cfg.Mode = timing.ModeAppOnly
+	case "tol-only":
+		cfg.Mode = timing.ModeTOLOnly
+	case "split":
+		cfg.Mode = timing.ModeSplit
+	default:
+		fmt.Fprintf(os.Stderr, "darco: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	res, err := darco.Run(p, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report(spec, res)
+}
+
+func report(spec workload.Spec, res *darco.Result) {
+	tr := res.Timing
+	cyc := float64(tr.Cycles)
+	fmt.Printf("benchmark        %s (%s)\n", spec.Name, spec.Suite)
+	fmt.Printf("guest insts      %d (static %d, dyn/static %.0f)\n",
+		res.GuestDyn(), res.TOL.StaticTotal(), res.DynamicStaticRatio())
+	fmt.Printf("host insts       %d (app %d, tol %d)\n",
+		tr.TotalInsts(), tr.Insts[timing.OwnerApp], tr.Insts[timing.OwnerTOL])
+	fmt.Printf("cycles           %d   IPC %.3f\n", tr.Cycles, tr.IPC())
+	fmt.Printf("TOL overhead     %.2f%% of execution time\n\n", 100*tr.TOLShare())
+
+	bt := stats.NewTable("Execution-time breakdown (Fig. 6/7 quantities)", "component", "% of cycles")
+	for _, c := range []timing.Component{
+		timing.CompApp, timing.CompTOLOther, timing.CompIM, timing.CompBBM,
+		timing.CompSBM, timing.CompChaining, timing.CompCodeCacheLookup,
+	} {
+		bt.AddRowf(2, c.String(), 100*tr.ComponentCycles(c)/cyc)
+	}
+	fmt.Println(bt.String())
+
+	bb := stats.NewTable("Cycle accounting (Fig. 9 quantities)", "category", "app %", "tol %")
+	bb.AddRowf(2, "instructions",
+		100*tr.InstCycles[timing.OwnerApp]/cyc, 100*tr.InstCycles[timing.OwnerTOL]/cyc)
+	for k := timing.BubbleKind(0); k < timing.NumBubbleKinds; k++ {
+		bb.AddRowf(2, k.String()+" bubbles",
+			100*tr.Bubbles[timing.OwnerApp][k]/cyc, 100*tr.Bubbles[timing.OwnerTOL][k]/cyc)
+	}
+	fmt.Println(bb.String())
+
+	ct := stats.NewTable("Microarchitecture", "structure", "accesses", "miss rate")
+	ct.AddRow("L1I", fmt.Sprint(tr.L1I.Accesses[0]+tr.L1I.Accesses[1]), stats.Pct(tr.L1I.MissRate()))
+	ct.AddRow("L1D", fmt.Sprint(tr.L1D.Accesses[0]+tr.L1D.Accesses[1]), stats.Pct(tr.L1D.MissRate()))
+	ct.AddRow("L2", fmt.Sprint(tr.L2.Accesses[0]+tr.L2.Accesses[1]), stats.Pct(tr.L2.MissRate()))
+	ct.AddRow("L1 TLB", fmt.Sprint(tr.L1TLB.Accesses[0]+tr.L1TLB.Accesses[1]), stats.Pct(tr.L1TLB.MissRate()))
+	ct.AddRow("L2 TLB", fmt.Sprint(tr.L2TLB.Accesses[0]+tr.L2TLB.Accesses[1]), stats.Pct(tr.L2TLB.MissRate()))
+	ct.AddRow("branch pred", fmt.Sprint(tr.Branch.Branches[0]+tr.Branch.Branches[1]), stats.Pct(tr.Branch.MispredictRate()))
+	fmt.Println(ct.String())
+
+	tt := stats.NewTable("TOL activity", "metric", "value")
+	tt.AddRow("mode dyn IM/BBM/SBM", fmt.Sprintf("%d / %d / %d", res.TOL.DynIM, res.TOL.DynBBM, res.TOL.DynSBM))
+	im, bbm, sbm := res.TOL.StaticCounts()
+	tt.AddRow("mode static IM/BBM/SBM", fmt.Sprintf("%d / %d / %d", im, bbm, sbm))
+	tt.AddRow("BBs translated", fmt.Sprint(res.TOL.BBTranslated))
+	tt.AddRow("SBM invocations", fmt.Sprint(res.TOL.SBCreated))
+	tt.AddRow("chains", fmt.Sprint(res.TOL.Chains))
+	tt.AddRow("IBTC fills", fmt.Sprint(res.TOL.IBTCFills))
+	tt.AddRow("indirect branches (dyn)", fmt.Sprint(res.TOL.IndirectDyn))
+	tt.AddRow("code cache lookups", fmt.Sprint(res.TOL.Lookups))
+	tt.AddRow("transitions to TOL", fmt.Sprint(res.TOL.Transitions))
+	tt.AddRow("code cache insts", fmt.Sprint(res.CodeCacheInsts))
+	tt.AddRow("cosim checks", fmt.Sprint(res.TOL.CosimChecks))
+	fmt.Println(tt.String())
+}
+
+func dumpConfig() {
+	cfg := timing.DefaultConfig()
+	t := stats.NewTable("Host processor microarchitectural parameters (paper Table I)",
+		"component", "parameter", "value")
+	t.AddRow("General", "Issue width", fmt.Sprint(cfg.IssueWidth))
+	t.AddRow("Instruction queue", "Size", fmt.Sprint(cfg.IQSize))
+	t.AddRow("Branch predictor", "History register bits", fmt.Sprint(cfg.BPHistoryBits))
+	t.AddRow("", "Misprediction penalty", fmt.Sprint(cfg.MispredictPenalty))
+	t.AddRow("L1 I-Cache", "Size", fmt.Sprint(cfg.L1I.Size))
+	t.AddRow("", "Block/Assoc", fmt.Sprintf("%dB/%d", cfg.L1I.BlockSize, cfg.L1I.Assoc))
+	t.AddRow("", "Hit latency", fmt.Sprint(cfg.L1I.HitLatency))
+	t.AddRow("L1 D-Cache", "Size", fmt.Sprint(cfg.L1D.Size))
+	t.AddRow("", "Block/Assoc", fmt.Sprintf("%dB/%d", cfg.L1D.BlockSize, cfg.L1D.Assoc))
+	t.AddRow("", "Hit latency", fmt.Sprint(cfg.L1D.HitLatency))
+	t.AddRow("Stride prefetcher", "Entries", fmt.Sprint(cfg.PrefetcherEntries))
+	t.AddRow("L2 U-Cache", "Size", fmt.Sprint(cfg.L2.Size))
+	t.AddRow("", "Block/Assoc", fmt.Sprintf("%dB/%d", cfg.L2.BlockSize, cfg.L2.Assoc))
+	t.AddRow("", "Hit latency", fmt.Sprint(cfg.L2.HitLatency))
+	t.AddRow("Main memory", "Hit latency", fmt.Sprint(cfg.MemLatency))
+	t.AddRow("L1 TLB", "Entries/Assoc", fmt.Sprintf("%d/%d", cfg.L1TLB.Entries, cfg.L1TLB.Assoc))
+	t.AddRow("", "Hit latency", fmt.Sprint(cfg.L1TLB.HitLatency))
+	t.AddRow("L2 TLB", "Entries/Assoc", fmt.Sprintf("%d/%d", cfg.L2TLB.Entries, cfg.L2TLB.Assoc))
+	t.AddRow("", "Hit latency", fmt.Sprint(cfg.L2TLB.HitLatency))
+	fmt.Print(t.String())
+}

@@ -1,0 +1,65 @@
+// Interaction: the Figure 10/11 experiment on one benchmark — how much
+// do TOL and the emulated application interfere on the shared
+// microarchitectural resources? The same deterministic execution is
+// timed twice: once with shared caches/predictor and once with
+// per-entity private copies ("interaction not modeled"), and the
+// per-entity attributed cycles are compared.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/darco"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "400.perlbench", "benchmark to analyze")
+	scale := flag.Float64("scale", 2.0, "workload dynamic-size multiplier")
+	flag.Parse()
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = spec.Scale(*scale)
+	p, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := darco.DefaultConfig()
+	cfg.TOL.Cosim = false // identical streams; timing-only experiment
+	ir, err := darco.RunInteraction(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s, %d guest instructions\n\n", spec.Name, ir.Shared.GuestDyn())
+
+	t := stats.NewTable("Interaction on shared resources (paper Fig. 10)",
+		"entity", "cycles w/ interaction", "cycles w/o interaction", "slowdown")
+	appW := ir.Shared.Timing.OwnerCycles(timing.OwnerApp)
+	appWo := ir.Split.Timing.OwnerCycles(timing.OwnerApp)
+	tolW := ir.Shared.Timing.OwnerCycles(timing.OwnerTOL)
+	tolWo := ir.Split.Timing.OwnerCycles(timing.OwnerTOL)
+	t.AddRow("application", fmt.Sprintf("%.0f", appW), fmt.Sprintf("%.0f", appWo),
+		fmt.Sprintf("%.3f", ir.AppSlowdown()))
+	t.AddRow("TOL", fmt.Sprintf("%.0f", tolW), fmt.Sprintf("%.0f", tolWo),
+		fmt.Sprintf("%.3f", ir.TOLSlowdown()))
+	fmt.Println(t.String())
+
+	pt := stats.NewTable("Potential improvement if interaction eliminated (paper Fig. 11)",
+		"entity", "d$-miss", "i$-miss", "sched", "branch")
+	for _, o := range []timing.Owner{timing.OwnerTOL, timing.OwnerApp} {
+		pt.AddRow(o.String(),
+			stats.Pct(ir.Potential(o, timing.BubbleDMiss)),
+			stats.Pct(ir.Potential(o, timing.BubbleIMiss)),
+			stats.Pct(ir.Potential(o, timing.BubbleSched)),
+			stats.Pct(ir.Potential(o, timing.BubbleBranch)))
+	}
+	fmt.Println(pt.String())
+}

@@ -1,0 +1,160 @@
+// Package darco is the controller of the simulation infrastructure:
+// it wires the co-design component (TOL + host CPU) to the timing
+// simulator, runs guest programs end to end, and collects the combined
+// results. It corresponds to the "Controller" box of the
+// infrastructure's architecture: the main interface for running
+// experiments.
+//
+// Co-simulation against the authoritative guest emulator (the x86
+// component) is performed inside the engine when enabled; the
+// controller additionally exposes isolation runs (ignoring the TOL or
+// application stream) used by the interaction experiments.
+package darco
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/timing"
+	"repro/internal/tol"
+)
+
+// Config selects the TOL policies, the host microarchitecture, and the
+// stream mode of a run.
+type Config struct {
+	TOL    tol.Config
+	Timing timing.Config
+	Mode   timing.Mode
+
+	// MaxCycles aborts runaway timing simulations (0 = default guard).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's host configuration with the scaled
+// TOL thresholds of tol.DefaultConfig.
+func DefaultConfig() Config {
+	return Config{
+		TOL:    tol.DefaultConfig(),
+		Timing: timing.DefaultConfig(),
+		Mode:   timing.ModeShared,
+	}
+}
+
+// Result combines the timing and TOL views of one run.
+type Result struct {
+	Timing *timing.Result
+	TOL    tol.Stats
+
+	// Code cache occupancy at the end of the run.
+	CodeCacheInsts int
+	Translations   int
+
+	// Final guest architectural state.
+	Final guest.State
+}
+
+// GuestDyn returns the number of guest instructions executed.
+func (r *Result) GuestDyn() uint64 { return r.TOL.DynTotal() }
+
+// DynamicStaticRatio returns dynamic guest instructions per executed
+// static guest instruction (the amortization factor of Figure 6).
+func (r *Result) DynamicStaticRatio() float64 {
+	st := r.TOL.StaticTotal()
+	if st == 0 {
+		return 0
+	}
+	return float64(r.TOL.DynTotal()) / float64(st)
+}
+
+// Run executes the program to completion under the given configuration.
+func Run(p *guest.Program, cfg Config) (*Result, error) {
+	eng := tol.NewEngine(cfg.TOL, p)
+	sim := timing.NewSimulator(cfg.Timing, cfg.Mode)
+	if cfg.MaxCycles != 0 {
+		sim.MaxCycles = cfg.MaxCycles
+	} else {
+		sim.MaxCycles = 200_000_000_000
+	}
+	tres, err := sim.Run(eng)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	if !eng.Halted() {
+		return nil, fmt.Errorf("darco: guest program did not halt")
+	}
+	return &Result{
+		Timing:         tres,
+		TOL:            eng.Stats,
+		CodeCacheInsts: eng.CC.UsedInsts(),
+		Translations:   len(eng.CC.Translations()),
+		Final:          *eng.GuestState(),
+	}, nil
+}
+
+// InteractionResult holds the two runs of the interaction methodology
+// of Figures 10 and 11: with interaction modeled (shared structures)
+// and without (per-entity private structures, identical streams). The
+// engine is fully deterministic, so the co-design behaviour is
+// identical across the runs; only resource sharing differs.
+type InteractionResult struct {
+	Shared *Result
+	Split  *Result
+}
+
+// RunInteraction performs the interaction experiment's two runs.
+func RunInteraction(p *guest.Program, cfg Config) (*InteractionResult, error) {
+	var out InteractionResult
+	for _, m := range []struct {
+		mode timing.Mode
+		dst  **Result
+	}{
+		{timing.ModeShared, &out.Shared},
+		{timing.ModeSplit, &out.Split},
+	} {
+		c := cfg
+		c.Mode = m.mode
+		r, err := Run(p, c)
+		if err != nil {
+			return nil, fmt.Errorf("darco: %v run: %w", m.mode, err)
+		}
+		*m.dst = r
+	}
+	return &out, nil
+}
+
+// AppSlowdown returns the relative execution-time increase of the
+// application due to sharing resources with TOL (Figure 10,
+// "Application" bars): attributed application cycles with interaction
+// divided by the same without interaction.
+func (ir *InteractionResult) AppSlowdown() float64 {
+	iso := ir.Split.Timing.OwnerCycles(timing.OwnerApp)
+	if iso == 0 {
+		return 1
+	}
+	return ir.Shared.Timing.OwnerCycles(timing.OwnerApp) / iso
+}
+
+// TOLSlowdown returns the relative execution-time increase of TOL due
+// to sharing resources with the application (Figure 10, "TOL" bars).
+func (ir *InteractionResult) TOLSlowdown() float64 {
+	iso := ir.Split.Timing.OwnerCycles(timing.OwnerTOL)
+	if iso == 0 {
+		return 1
+	}
+	return ir.Shared.Timing.OwnerCycles(timing.OwnerTOL) / iso
+}
+
+// Potential returns the potential improvement of one entity per bubble
+// source if the interaction were eliminated (Figure 11): the bubble-
+// cycle difference between the shared and split runs, as a fraction of
+// the shared run's total cycles.
+func (ir *InteractionResult) Potential(o timing.Owner, k timing.BubbleKind) float64 {
+	total := float64(ir.Shared.Timing.Cycles)
+	if total == 0 {
+		return 0
+	}
+	return (ir.Shared.Timing.Bubbles[o][k] - ir.Split.Timing.Bubbles[o][k]) / total
+}

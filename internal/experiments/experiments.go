@@ -1,0 +1,494 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (Figures 5–11) from the simulation infrastructure: each
+// FigN function produces the table of series the corresponding figure
+// plots. Table I is the timing configuration itself
+// (timing.DefaultConfig) and is printed by cmd/darco -print-config.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/darco"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// Options configures a figure-regeneration session.
+type Options struct {
+	// Scale multiplies the dynamic size of every workload (1.0 =
+	// DESIGN.md default budgets).
+	Scale float64
+	// Benchmarks restricts the set (nil = full 48-benchmark catalog).
+	Benchmarks []string
+	// Config is the base DARCO configuration.
+	Config darco.Config
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+// DefaultOptions returns the standard full-catalog session.
+func DefaultOptions() Options {
+	return Options{Scale: 1.0, Config: darco.DefaultConfig()}
+}
+
+// Runner caches per-benchmark runs so that figures sharing a
+// configuration reuse them.
+type Runner struct {
+	opts     Options
+	specs    []workload.Spec
+	shared   map[string]*darco.Result
+	tolOnly  map[string]*darco.Result
+	interact map[string]*darco.InteractionResult
+}
+
+// NewRunner builds a runner over the selected benchmarks.
+func NewRunner(opts Options) (*Runner, error) {
+	if opts.Scale == 0 {
+		opts.Scale = 1.0
+	}
+	var specs []workload.Spec
+	if opts.Benchmarks == nil {
+		specs = workload.Catalog()
+	} else {
+		for _, n := range opts.Benchmarks {
+			s, err := workload.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, s)
+		}
+	}
+	for i := range specs {
+		specs[i] = specs[i].Scale(opts.Scale)
+	}
+	return &Runner{
+		opts:     opts,
+		specs:    specs,
+		shared:   make(map[string]*darco.Result),
+		tolOnly:  make(map[string]*darco.Result),
+		interact: make(map[string]*darco.InteractionResult),
+	}, nil
+}
+
+// Specs returns the benchmark set of this runner.
+func (r *Runner) Specs() []workload.Spec { return r.specs }
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.opts.Log != nil {
+		fmt.Fprintf(r.opts.Log, format+"\n", args...)
+	}
+}
+
+func (r *Runner) spec(name string) (workload.Spec, error) {
+	for _, s := range r.specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return workload.Spec{}, fmt.Errorf("experiments: benchmark %q not in session", name)
+}
+
+// Shared returns (running if needed) the shared-mode result.
+func (r *Runner) Shared(name string) (*darco.Result, error) {
+	if res, ok := r.shared[name]; ok {
+		return res, nil
+	}
+	s, err := r.spec(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	r.logf("run %-22s shared", name)
+	cfg := r.opts.Config
+	cfg.Mode = timing.ModeShared
+	res, err := darco.Run(p, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	r.shared[name] = res
+	return res, nil
+}
+
+// TOLOnly returns (running if needed) the TOL-in-isolation result used
+// by Figure 8.
+func (r *Runner) TOLOnly(name string) (*darco.Result, error) {
+	if res, ok := r.tolOnly[name]; ok {
+		return res, nil
+	}
+	s, err := r.spec(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	r.logf("run %-22s tol-only", name)
+	cfg := r.opts.Config
+	cfg.Mode = timing.ModeTOLOnly
+	res, err := darco.Run(p, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	r.tolOnly[name] = res
+	return res, nil
+}
+
+// Interaction returns (running if needed) the shared-vs-split pair used
+// by Figures 10 and 11.
+func (r *Runner) Interaction(name string) (*darco.InteractionResult, error) {
+	if res, ok := r.interact[name]; ok {
+		return res, nil
+	}
+	s, err := r.spec(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	r.logf("run %-22s interaction (shared+split)", name)
+	res, err := darco.RunInteraction(p, r.opts.Config)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	r.interact[name] = res
+	// The shared leg doubles as the Shared cache entry.
+	r.shared[name] = res.Shared
+	return res, nil
+}
+
+// suiteOrder lists suites in the paper's order.
+var suiteOrder = []workload.Suite{workload.SPECInt, workload.SPECFP, workload.Physics, workload.Media}
+
+// forEach runs fn over the session benchmarks in catalog order.
+func (r *Runner) forEach(fn func(s workload.Spec) error) error {
+	for _, s := range r.specs {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig5 regenerates Figure 5: the static (a) and dynamic (b)
+// distribution of guest code across IM, BBM and SBM.
+func (r *Runner) Fig5() (*stats.Table, *stats.Table, error) {
+	ta := stats.NewTable("Figure 5a: static guest code distribution (%)",
+		"benchmark", "suite", "IM", "BBM", "SBM")
+	tb := stats.NewTable("Figure 5b: dynamic guest code distribution (%)",
+		"benchmark", "suite", "IM", "BBM", "SBM")
+	type acc struct {
+		aIM, aBBM, aSBM, bIM, bBBM, bSBM float64
+		n                                int
+	}
+	suiteAcc := map[workload.Suite]*acc{}
+	err := r.forEach(func(s workload.Spec) error {
+		res, err := r.Shared(s.Name)
+		if err != nil {
+			return err
+		}
+		im, bbm, sbm := res.TOL.StaticCounts()
+		st := float64(im + bbm + sbm)
+		dyn := float64(res.TOL.DynTotal())
+		aIM, aBBM, aSBM := pct(im, st), pct(bbm, st), pct(sbm, st)
+		bIM := 100 * float64(res.TOL.DynIM) / dyn
+		bBBM := 100 * float64(res.TOL.DynBBM) / dyn
+		bSBM := 100 * float64(res.TOL.DynSBM) / dyn
+		ta.AddRowf(1, s.Name, s.Suite.String(), aIM, aBBM, aSBM)
+		tb.AddRowf(1, s.Name, s.Suite.String(), bIM, bBBM, bSBM)
+		a := suiteAcc[s.Suite]
+		if a == nil {
+			a = &acc{}
+			suiteAcc[s.Suite] = a
+		}
+		a.aIM += aIM
+		a.aBBM += aBBM
+		a.aSBM += aSBM
+		a.bIM += bIM
+		a.bBBM += bBBM
+		a.bSBM += bSBM
+		a.n++
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, su := range suiteOrder {
+		if a := suiteAcc[su]; a != nil && a.n > 0 {
+			n := float64(a.n)
+			ta.AddRowf(1, "AVG "+su.String(), su.String(), a.aIM/n, a.aBBM/n, a.aSBM/n)
+			tb.AddRowf(1, "AVG "+su.String(), su.String(), a.bIM/n, a.bBBM/n, a.bSBM/n)
+		}
+	}
+	return ta, tb, nil
+}
+
+func pct(x int, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(x) / total
+}
+
+// Fig6 regenerates Figure 6: execution-time breakdown into TOL
+// overhead and application, with the dynamic/static instruction ratio
+// and the number of SBM invocations (the log-scale series).
+func (r *Runner) Fig6() (*stats.Table, error) {
+	t := stats.NewTable("Figure 6: execution time breakdown (% of cycles) + log-scale series",
+		"benchmark", "suite", "overhead", "application", "dyn/static", "SBM-invocations")
+	type acc struct {
+		ov float64
+		n  int
+	}
+	suiteAcc := map[workload.Suite]*acc{}
+	err := r.forEach(func(s workload.Spec) error {
+		res, err := r.Shared(s.Name)
+		if err != nil {
+			return err
+		}
+		ov := res.Timing.TOLShare() * 100
+		t.AddRowf(1, s.Name, s.Suite.String(), ov, 100-ov,
+			fmt.Sprintf("%.0f", res.DynamicStaticRatio()),
+			fmt.Sprint(res.TOL.SBCreated))
+		a := suiteAcc[s.Suite]
+		if a == nil {
+			a = &acc{}
+			suiteAcc[s.Suite] = a
+		}
+		a.ov += ov
+		a.n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, su := range suiteOrder {
+		if a := suiteAcc[su]; a != nil && a.n > 0 {
+			t.AddRowf(1, "AVG "+su.String(), su.String(), a.ov/float64(a.n),
+				100-a.ov/float64(a.n), "", "")
+		}
+	}
+	return t, nil
+}
+
+// Fig7 regenerates Figure 7: the TOL execution time split into its
+// components (as % of total execution time), plus the dynamic guest
+// indirect-branch count (the log-scale series).
+func (r *Runner) Fig7() (*stats.Table, error) {
+	t := stats.NewTable("Figure 7: TOL time by component (% of cycles) + indirect branches",
+		"benchmark", "suite", "tol-other", "IM", "BBM", "SBM", "chaining", "code$-lookup", "indirect-branches")
+	err := r.forEach(func(s workload.Spec) error {
+		res, err := r.Shared(s.Name)
+		if err != nil {
+			return err
+		}
+		cyc := float64(res.Timing.Cycles)
+		comp := func(c timing.Component) float64 {
+			return 100 * res.Timing.ComponentCycles(c) / cyc
+		}
+		t.AddRowf(2, s.Name, s.Suite.String(),
+			comp(timing.CompTOLOther), comp(timing.CompIM), comp(timing.CompBBM),
+			comp(timing.CompSBM), comp(timing.CompChaining), comp(timing.CompCodeCacheLookup),
+			fmt.Sprint(res.TOL.IndirectDyn))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Fig8 regenerates Figure 8: TOL performance characteristics in
+// isolation — IPC, data/instruction cache miss rates, and branch
+// misprediction rate.
+func (r *Runner) Fig8() (*stats.Table, error) {
+	t := stats.NewTable("Figure 8: TOL performance characteristics (TOL executed in isolation)",
+		"benchmark", "suite", "IPC", "D$-miss%", "I$-miss%", "BP-miss%")
+	err := r.forEach(func(s workload.Spec) error {
+		res, err := r.TOLOnly(s.Name)
+		if err != nil {
+			return err
+		}
+		tr := res.Timing
+		t.AddRowf(2, s.Name, s.Suite.String(), tr.IPC(),
+			100*tr.L1D.OwnerMissRate(timing.OwnerTOL),
+			100*tr.L1I.OwnerMissRate(timing.OwnerTOL),
+			100*tr.Branch.OwnerMispredictRate(timing.OwnerTOL))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// fig9Rows returns the row set of Figures 9–11: the four outliers plus
+// per-suite averages, restricted to benchmarks in the session.
+func (r *Runner) fig9Rows() []string {
+	var rows []string
+	have := map[string]bool{}
+	for _, s := range r.specs {
+		have[s.Name] = true
+	}
+	for _, o := range workload.Outliers() {
+		if have[o] {
+			rows = append(rows, o)
+		}
+	}
+	return rows
+}
+
+// Fig9 regenerates Figure 9: cycles split into instruction cycles and
+// the four bubble sources, each divided between TOL and the
+// application, for the outliers and suite averages.
+func (r *Runner) Fig9() (*stats.Table, error) {
+	t := stats.NewTable("Figure 9: cycle breakdown (% of cycles), TOL vs application",
+		"case", "app-insts", "tol-insts", "app-sched", "tol-sched",
+		"app-branch", "tol-branch", "app-i$", "tol-i$", "app-d$", "tol-d$")
+	addRow := func(label string, rs []*darco.Result) {
+		var v [10]float64
+		for _, res := range rs {
+			cyc := float64(res.Timing.Cycles)
+			tr := res.Timing
+			v[0] += 100 * tr.InstCycles[timing.OwnerApp] / cyc
+			v[1] += 100 * tr.InstCycles[timing.OwnerTOL] / cyc
+			v[2] += 100 * tr.Bubbles[timing.OwnerApp][timing.BubbleSched] / cyc
+			v[3] += 100 * tr.Bubbles[timing.OwnerTOL][timing.BubbleSched] / cyc
+			v[4] += 100 * tr.Bubbles[timing.OwnerApp][timing.BubbleBranch] / cyc
+			v[5] += 100 * tr.Bubbles[timing.OwnerTOL][timing.BubbleBranch] / cyc
+			v[6] += 100 * tr.Bubbles[timing.OwnerApp][timing.BubbleIMiss] / cyc
+			v[7] += 100 * tr.Bubbles[timing.OwnerTOL][timing.BubbleIMiss] / cyc
+			v[8] += 100 * tr.Bubbles[timing.OwnerApp][timing.BubbleDMiss] / cyc
+			v[9] += 100 * tr.Bubbles[timing.OwnerTOL][timing.BubbleDMiss] / cyc
+		}
+		n := float64(len(rs))
+		t.AddRowf(1, label, v[0]/n, v[1]/n, v[2]/n, v[3]/n, v[4]/n,
+			v[5]/n, v[6]/n, v[7]/n, v[8]/n, v[9]/n)
+	}
+	for _, name := range r.fig9Rows() {
+		res, err := r.Shared(name)
+		if err != nil {
+			return nil, err
+		}
+		addRow(name, []*darco.Result{res})
+	}
+	for _, su := range suiteOrder {
+		var rs []*darco.Result
+		for _, s := range r.specs {
+			if s.Suite != su {
+				continue
+			}
+			res, err := r.Shared(s.Name)
+			if err != nil {
+				return nil, err
+			}
+			rs = append(rs, res)
+		}
+		if len(rs) > 0 {
+			addRow("AVG "+su.String(), rs)
+		}
+	}
+	return t, nil
+}
+
+// Fig10 regenerates Figure 10: relative per-entity execution time with
+// resource interaction versus without.
+func (r *Runner) Fig10() (*stats.Table, error) {
+	t := stats.NewTable("Figure 10: slowdown from TOL/application interaction (w/ vs w/o shared resources)",
+		"case", "application", "TOL")
+	addRow := func(label string, irs []*darco.InteractionResult) {
+		var app, tol float64
+		for _, ir := range irs {
+			app += ir.AppSlowdown()
+			tol += ir.TOLSlowdown()
+		}
+		n := float64(len(irs))
+		t.AddRowf(3, label, app/n, tol/n)
+	}
+	for _, name := range r.fig9Rows() {
+		ir, err := r.Interaction(name)
+		if err != nil {
+			return nil, err
+		}
+		addRow(name, []*darco.InteractionResult{ir})
+	}
+	for _, su := range suiteOrder {
+		var irs []*darco.InteractionResult
+		for _, s := range r.specs {
+			if s.Suite != su {
+				continue
+			}
+			ir, err := r.Interaction(s.Name)
+			if err != nil {
+				return nil, err
+			}
+			irs = append(irs, ir)
+		}
+		if len(irs) > 0 {
+			addRow("AVG "+su.String(), irs)
+		}
+	}
+	return t, nil
+}
+
+// Fig11 regenerates Figure 11: the potential per-resource improvement
+// for TOL (a) and the application (b) if the interaction were
+// eliminated.
+func (r *Runner) Fig11() (*stats.Table, *stats.Table, error) {
+	mk := func(title string) *stats.Table {
+		return stats.NewTable(title, "case", "d$-miss", "i$-miss", "sched", "branch")
+	}
+	ta := mk("Figure 11a: potential improvement of TOL (% of cycles)")
+	tb := mk("Figure 11b: potential improvement of the application (% of cycles)")
+	addRow := func(t *stats.Table, label string, o timing.Owner, irs []*darco.InteractionResult) {
+		var d, i, s, b float64
+		for _, ir := range irs {
+			d += 100 * ir.Potential(o, timing.BubbleDMiss)
+			i += 100 * ir.Potential(o, timing.BubbleIMiss)
+			s += 100 * ir.Potential(o, timing.BubbleSched)
+			b += 100 * ir.Potential(o, timing.BubbleBranch)
+		}
+		n := float64(len(irs))
+		t.AddRowf(2, label, d/n, i/n, s/n, b/n)
+	}
+	rowSets := make(map[string][]*darco.InteractionResult)
+	var order []string
+	for _, name := range r.fig9Rows() {
+		ir, err := r.Interaction(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		rowSets[name] = []*darco.InteractionResult{ir}
+		order = append(order, name)
+	}
+	for _, su := range suiteOrder {
+		var irs []*darco.InteractionResult
+		for _, s := range r.specs {
+			if s.Suite != su {
+				continue
+			}
+			ir, err := r.Interaction(s.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			irs = append(irs, ir)
+		}
+		if len(irs) > 0 {
+			label := "AVG " + su.String()
+			rowSets[label] = irs
+			order = append(order, label)
+		}
+	}
+	for _, label := range order {
+		addRow(ta, label, timing.OwnerTOL, rowSets[label])
+		addRow(tb, label, timing.OwnerApp, rowSets[label])
+	}
+	return ta, tb, nil
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/darco"
+)
+
+// testRunner builds a small-session runner over three contrasting
+// benchmarks at reduced scale, with cosim on (every run verified).
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Scale = 0.2
+	opts.Benchmarks = []string{"462.libquantum", "400.perlbench", "107.novis_ragdoll"}
+	opts.Config = darco.DefaultConfig()
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFig5Shapes(t *testing.T) {
+	r := testRunner(t)
+	ta, tb, err := r.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 benchmark rows + suite averages.
+	if len(ta.Rows) < 3 || len(tb.Rows) < 3 {
+		t.Fatalf("rows: %d/%d", len(ta.Rows), len(tb.Rows))
+	}
+	// libquantum: dynamic SBM share must dominate (first row, SBM col 4).
+	if !strings.HasPrefix(tb.Rows[0][0], "462") {
+		t.Fatalf("row order: %v", tb.Rows[0])
+	}
+	var sbm float64
+	if _, err := fscan(tb.Rows[0][4], &sbm); err != nil {
+		t.Fatal(err)
+	}
+	if sbm < 90 {
+		t.Fatalf("libquantum dynamic SBM = %.1f%%, want > 90%%", sbm)
+	}
+}
+
+func TestFig6OverheadOrdering(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := map[string]float64{}
+	for _, row := range tab.Rows {
+		var v float64
+		if _, err := fscan(row[2], &v); err != nil {
+			t.Fatal(err)
+		}
+		ov[row[0]] = v
+	}
+	// The paper's central anti-correlation: the extreme-ratio benchmark
+	// has far less overhead than the low-ratio one.
+	if ov["462.libquantum"] >= ov["107.novis_ragdoll"] {
+		t.Fatalf("overhead ordering broken: libquantum %.1f >= ragdoll %.1f",
+			ov["462.libquantum"], ov["107.novis_ragdoll"])
+	}
+	if ov["462.libquantum"] > 15 {
+		t.Fatalf("libquantum overhead = %.1f%%, want small", ov["462.libquantum"])
+	}
+}
+
+func TestFig7ComponentsPresent(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// perlbench's indirect-branch count (last column) must dwarf
+	// libquantum's.
+	var perl, libq float64
+	for _, row := range tab.Rows {
+		var v float64
+		if _, err := fscan(row[8], &v); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.HasPrefix(row[0], "400"):
+			perl = v
+		case strings.HasPrefix(row[0], "462"):
+			libq = v
+		}
+	}
+	if perl < 100*libq && perl < 1000 {
+		t.Fatalf("indirect counts: perlbench %v vs libquantum %v", perl, libq)
+	}
+}
+
+func TestFig8IPCVariance(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 1e9, 0.0
+	for _, row := range tab.Rows {
+		var v float64
+		if _, err := fscan(row[2], &v); err != nil {
+			t.Fatal(err)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// The paper's headline: TOL IPC varies across applications.
+	if hi-lo < 0.05 {
+		t.Fatalf("TOL IPC range [%.2f, %.2f] implausibly flat", lo, hi)
+	}
+	if lo <= 0 || hi > 2 {
+		t.Fatalf("TOL IPC out of range: [%.2f, %.2f]", lo, hi)
+	}
+}
+
+func TestFig9SumsToTotal(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		sum := 0.0
+		for _, cell := range row[1:] {
+			var v float64
+			if _, err := fscan(cell, &v); err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		if sum < 95 || sum > 101 {
+			t.Fatalf("row %s sums to %.1f%%", row[0], sum)
+		}
+	}
+}
+
+func TestFig10And11Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interaction runs are slow")
+	}
+	opts := DefaultOptions()
+	opts.Scale = 0.2
+	opts.Benchmarks = []string{"400.perlbench", "470.lbm"}
+	opts.Config = darco.DefaultConfig()
+	opts.Config.TOL.Cosim = false
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t10, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10.Rows) < 2 {
+		t.Fatalf("fig10 rows = %d", len(t10.Rows))
+	}
+	ta, tb, err := r.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != len(tb.Rows) {
+		t.Fatal("fig11 row mismatch")
+	}
+}
+
+func TestRunnerUnknownBenchmark(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Benchmarks = []string{"does-not-exist"}
+	if _, err := NewRunner(opts); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// fscan parses one float from a table cell.
+func fscan(cell string, v *float64) (int, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" {
+		*v = 0
+		return 0, nil
+	}
+	return fmt.Sscan(cell, v)
+}

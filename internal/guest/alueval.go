@@ -1,0 +1,80 @@
+package guest
+
+// EvalALU computes the result and resulting flags of an ALU operation
+// with known operand values, using exactly the semantics of Step. It
+// is the constant-folding oracle of the superblock optimizer: folding
+// through this function guarantees the optimizer can never disagree
+// with the architectural semantics.
+//
+// a is the destination operand's prior value, b the source operand
+// (register value or immediate), oldFlags the prior flags. ok is false
+// for operations EvalALU does not handle (memory, FP, control flow).
+func EvalALU(op Op, a, b uint32, oldFlags uint32) (res uint32, flags uint32, ok bool) {
+	switch op {
+	case OpAddRR, OpAddRI:
+		r := a + b
+		return r, addFlags(a, b, r), true
+	case OpSubRR, OpSubRI:
+		r := a - b
+		return r, subFlags(a, b, r), true
+	case OpCmpRR, OpCmpRI:
+		return a, subFlags(a, b, a-b), true
+	case OpAndRR, OpAndRI:
+		r := a & b
+		return r, logicFlags(r), true
+	case OpOrRR, OpOrRI:
+		r := a | b
+		return r, logicFlags(r), true
+	case OpXorRR, OpXorRI:
+		r := a ^ b
+		return r, logicFlags(r), true
+	case OpTestRR:
+		return a, logicFlags(a & b), true
+	case OpImulRR:
+		return uint32(int32(a) * int32(b)), mulFlags(int32(a), int32(b)), true
+	case OpDivRR:
+		if b == 0 {
+			return 0xffff_ffff, oldFlags, true
+		}
+		return a / b, oldFlags, true
+	case OpIncR:
+		r := a + 1
+		return r, incFlags(oldFlags, r), true
+	case OpDecR:
+		r := a - 1
+		return r, decFlags(oldFlags, r), true
+	case OpNegR:
+		r := -a
+		return r, negFlags(a, r), true
+	case OpNotR:
+		return ^a, oldFlags, true
+	case OpShlRI:
+		c := b & 31
+		if c == 0 {
+			return a, oldFlags, true
+		}
+		r := a << c
+		return r, shlFlags(a, c, r), true
+	case OpShrRI:
+		c := b & 31
+		if c == 0 {
+			return a, oldFlags, true
+		}
+		r := a >> c
+		return r, shrFlags(a, c, r), true
+	case OpSarRI:
+		c := b & 31
+		if c == 0 {
+			return a, oldFlags, true
+		}
+		r := uint32(int32(a) >> c)
+		return r, shrFlags(a, c, r), true
+	case OpMovRI:
+		return b, oldFlags, true
+	case OpMovRR:
+		return b, oldFlags, true
+	case OpLea:
+		return a + b, oldFlags, true
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatal("missing title")
+	}
+	// All data lines align to the same width.
+	if len(lines[3]) > len(lines[1])+2 {
+		t.Fatal("misaligned rows")
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRowf(2, "x", 3.14159)
+	if tb.Rows[0][1] != "3.14" {
+		t.Fatalf("got %q", tb.Rows[0][1])
+	}
+	tb.AddRowf(1, 42, float32(2.5))
+	if tb.Rows[1][0] != "42" || tb.Rows[1][1] != "2.5" {
+		t.Fatalf("got %v", tb.Rows[1])
+	}
+}
+
+func TestAddRowTruncates(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.AddRow("a", "b", "c")
+	if len(tb.Rows[0]) != 1 {
+		t.Fatal("row not truncated to header count")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Fatalf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Fatalf("quote not escaped: %s", csv)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.125) != "12.5%" {
+		t.Fatalf("got %s", Pct(0.125))
+	}
+}

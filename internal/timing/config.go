@@ -1,0 +1,73 @@
+// Package timing implements the timing simulator of the co-designed
+// processor: a configurable in-order RISC host modeled after the
+// paper's Table I — a 2-wide decoupled pipeline (Front-End, Instruction
+// Queue, Back-End), Gshare branch predictor with BTB, two cache levels
+// with PLRU replacement, a two-level data TLB, and a stride prefetcher.
+//
+// The simulator consumes a dynamic host-instruction stream in which
+// every instruction is tagged with its owner (TOL or the emulated
+// application) and, for TOL, the TOL component that produced it. Cycles
+// and bubbles are attributed per owner and component, which is the
+// mechanism behind all of the paper's figures.
+package timing
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Size       int // bytes
+	BlockSize  int // bytes
+	Assoc      int
+	HitLatency int // cycles
+}
+
+// TLBConfig describes one TLB level.
+type TLBConfig struct {
+	Entries    int
+	Assoc      int
+	HitLatency int // cycles
+}
+
+// Config holds the microarchitectural parameters (paper Table I).
+type Config struct {
+	IssueWidth int
+	IQSize     int
+
+	// Branch prediction.
+	BPHistoryBits     int // Gshare history register length
+	BTBEntries        int
+	BTBAssoc          int
+	MispredictPenalty int // cycles, detected in EXE
+
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	MemLatency int // main memory hit latency, cycles
+
+	L1TLB TLBConfig
+	L2TLB TLBConfig
+	// TLBMissLatency is the page-walk cost on an L2 TLB miss. The walk
+	// is served from main memory in this model.
+	TLBMissLatency int
+
+	PrefetcherEntries int // stride prefetcher table entries (0 disables)
+}
+
+// DefaultConfig returns the configuration of Table I of the paper.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:        2,
+		IQSize:            16,
+		BPHistoryBits:     12,
+		BTBEntries:        512,
+		BTBAssoc:          4,
+		MispredictPenalty: 6,
+		L1I:               CacheConfig{Size: 32 << 10, BlockSize: 64, Assoc: 4, HitLatency: 1},
+		L1D:               CacheConfig{Size: 32 << 10, BlockSize: 64, Assoc: 4, HitLatency: 1},
+		L2:                CacheConfig{Size: 512 << 10, BlockSize: 128, Assoc: 8, HitLatency: 16},
+		MemLatency:        128,
+		L1TLB:             TLBConfig{Entries: 64, Assoc: 8, HitLatency: 1},
+		L2TLB:             TLBConfig{Entries: 256, Assoc: 8, HitLatency: 16},
+		TLBMissLatency:    128,
+		PrefetcherEntries: 256,
+	}
+}

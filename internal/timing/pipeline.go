@@ -1,0 +1,419 @@
+package timing
+
+import "fmt"
+
+// Mode selects which part of the dynamic stream the simulator models
+// and whether TOL and the application share microarchitectural state.
+//
+// ModeAppOnly/ModeTOLOnly drop the other entity's instructions
+// entirely — the paper's Figure 8 methodology ("we study the execution
+// of TOL in isolation through ignoring in the timing simulator all the
+// instructions that correspond to the emulation of the application").
+//
+// ModeSplit models both streams with identical pipeline dynamics but
+// gives each entity private caches, TLBs, branch predictor and
+// prefetcher: the "interaction is not modeled" configuration of the
+// Figure 10/11 experiments. Comparing per-entity attributed cycles
+// between ModeShared and ModeSplit isolates exactly the resource-
+// sharing (pollution) effect.
+type Mode uint8
+
+// Simulation modes.
+const (
+	ModeShared Mode = iota // both streams, shared structures
+	ModeAppOnly
+	ModeTOLOnly
+	ModeSplit // both streams, per-owner private structures
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeShared:
+		return "shared"
+	case ModeAppOnly:
+		return "app-only"
+	case ModeTOLOnly:
+		return "tol-only"
+	case ModeSplit:
+		return "split"
+	}
+	return "mode?"
+}
+
+// iqEntry is one instruction waiting in the instruction queue.
+type iqEntry struct {
+	inst       DynInst
+	mispredict bool
+}
+
+type fetchBlock uint8
+
+const (
+	fetchFree fetchBlock = iota
+	fetchIMiss
+	fetchBranchWait // waiting for a mispredicted branch to reach EXE
+	fetchRedirect   // mispredict penalty running
+)
+
+// Simulator is the timing model. Create one per run with NewSimulator;
+// the structures are stateful (caches, predictor, TLB), so a Simulator
+// models one continuous execution.
+//
+// The structure arrays hold one set of caches/predictors in the shared
+// and drop modes (both owners index slot 0) and per-owner private sets
+// in ModeSplit.
+type Simulator struct {
+	cfg  Config
+	mode Mode
+
+	l1i  [NumOwners]*Cache
+	l1d  [NumOwners]*Cache
+	l2   [NumOwners]*Cache
+	l1t  [NumOwners]*TLB
+	l2t  [NumOwners]*TLB
+	bp   [NumOwners]*Predictor
+	pref [NumOwners]*StridePrefetcher
+
+	// Scoreboard: cycle each register becomes ready, and whether its
+	// producer was a load that missed in the L1 data cache.
+	regReady [NumSBRegs]uint64
+	regDMiss [NumSBRegs]bool
+
+	// Instruction queue as a ring buffer of capacity cfg.IQSize.
+	iq      []iqEntry
+	iqHead  int
+	iqCount int
+
+	cycle uint64
+
+	fetchState      fetchBlock
+	fetchReadyAt    uint64 // when fetchIMiss/fetchRedirect clears
+	fetchBlockOwner Owner
+	fetchBlockComp  Component
+	lastFetchLine   [NumOwners]uint32
+	haveFetchLine   [NumOwners]bool
+	pending         DynInst // next instruction (already pulled) awaiting I$
+	havePending     bool
+	streamDone      bool
+
+	// stalledBranch counts IQ entries (from the head) up to and
+	// including the mispredicted branch fetch is waiting on; -1 if none.
+	stalledBranch int
+
+	res Result
+
+	// MaxCycles aborts a runaway simulation (0 means no limit).
+	MaxCycles uint64
+}
+
+// NewSimulator builds a simulator for the given configuration and mode.
+func NewSimulator(cfg Config, mode Mode) *Simulator {
+	s := &Simulator{
+		cfg:           cfg,
+		mode:          mode,
+		iq:            make([]iqEntry, cfg.IQSize),
+		stalledBranch: -1,
+	}
+	sets := 1
+	if mode == ModeSplit {
+		sets = int(NumOwners)
+	}
+	for i := 0; i < sets; i++ {
+		s.l1i[i] = NewCache(cfg.L1I)
+		s.l1d[i] = NewCache(cfg.L1D)
+		s.l2[i] = NewCache(cfg.L2)
+		s.l1t[i] = NewTLB(cfg.L1TLB)
+		s.l2t[i] = NewTLB(cfg.L2TLB)
+		s.bp[i] = NewPredictor(&cfg)
+		s.pref[i] = NewStridePrefetcher(cfg.PrefetcherEntries)
+	}
+	return s
+}
+
+// setIdx returns the structure-set index for an owner.
+func (s *Simulator) setIdx(o Owner) int {
+	if s.mode == ModeSplit {
+		return int(o)
+	}
+	return 0
+}
+
+// skip reports whether the mode drops instructions of this owner.
+func (s *Simulator) skip(o Owner) bool {
+	switch s.mode {
+	case ModeAppOnly:
+		return o == OwnerTOL
+	case ModeTOLOnly:
+		return o == OwnerApp
+	}
+	return false
+}
+
+func (s *Simulator) iqAt(i int) *iqEntry {
+	return &s.iq[(s.iqHead+i)%len(s.iq)]
+}
+
+func (s *Simulator) iqPush(e iqEntry) {
+	s.iq[(s.iqHead+s.iqCount)%len(s.iq)] = e
+	s.iqCount++
+}
+
+func (s *Simulator) iqPop() {
+	s.iqHead = (s.iqHead + 1) % len(s.iq)
+	s.iqCount--
+	if s.stalledBranch > 0 {
+		s.stalledBranch--
+	}
+}
+
+// instAccess models the instruction fetch path for a PC, returning the
+// stall in cycles beyond the pipelined hit latency (0 on L1I hit).
+// Accesses are counted per cache line, not per instruction.
+func (s *Simulator) instAccess(pc uint32, owner Owner) int {
+	i := s.setIdx(owner)
+	line := s.l1i[i].BlockAddr(pc)
+	if s.haveFetchLine[i] && line == s.lastFetchLine[i] {
+		return 0
+	}
+	s.lastFetchLine[i], s.haveFetchLine[i] = line, true
+	if s.l1i[i].Access(line, owner) {
+		return 0
+	}
+	if s.l2[i].Access(line, owner) {
+		return s.cfg.L2.HitLatency
+	}
+	return s.cfg.L2.HitLatency + s.cfg.MemLatency
+}
+
+// dataAccess models the data path: TLB then cache hierarchy, plus the
+// stride prefetcher. It returns the access latency (excluding the
+// 1-cycle EXE address calculation) and whether the access missed in
+// the L1 data cache.
+func (s *Simulator) dataAccess(pc, addr uint32, owner Owner) (lat int, l1Miss bool) {
+	i := s.setIdx(owner)
+	// An L1 TLB hit is overlapped with the L1D access (VIPT-style); the
+	// extra cost appears only on L1 TLB misses.
+	if !s.l1t[i].Access(addr, owner) {
+		if s.l2t[i].Access(addr, owner) {
+			lat += s.cfg.L2TLB.HitLatency
+		} else {
+			lat += s.cfg.L2TLB.HitLatency + s.cfg.TLBMissLatency
+		}
+	}
+	if s.l1d[i].Access(addr, owner) {
+		lat += s.cfg.L1D.HitLatency
+	} else {
+		l1Miss = true
+		if s.l2[i].Access(addr, owner) {
+			lat += s.cfg.L2.HitLatency
+		} else {
+			lat += s.cfg.L2.HitLatency + s.cfg.MemLatency
+		}
+	}
+	if pf := s.pref[i].Observe(pc, addr); pf != 0 {
+		if !s.l1d[i].Lookup(pf) {
+			s.l1d[i].Insert(pf)
+			s.l2[i].Insert(pf)
+		}
+	}
+	return lat, l1Miss
+}
+
+// Run consumes the stream to completion and returns the results.
+func (s *Simulator) Run(src StreamSource) (*Result, error) {
+	for {
+		if s.MaxCycles != 0 && s.cycle > s.MaxCycles {
+			return nil, fmt.Errorf("timing: exceeded MaxCycles=%d at %d retired insts",
+				s.MaxCycles, s.res.TotalInsts())
+		}
+		s.fetch(src)
+		issued := s.issue()
+		if issued == 0 {
+			if s.streamDone && !s.havePending && s.iqCount == 0 {
+				break
+			}
+			s.accountBubble()
+		}
+		s.cycle++
+	}
+	s.finishResult()
+	return &s.res, nil
+}
+
+// fetch advances the front end for one cycle.
+func (s *Simulator) fetch(src StreamSource) {
+	switch s.fetchState {
+	case fetchIMiss, fetchRedirect:
+		if s.cycle < s.fetchReadyAt {
+			return
+		}
+		s.fetchState = fetchFree
+	case fetchBranchWait:
+		return // released by issue() when the branch reaches EXE
+	}
+
+	for fetched := 0; fetched < s.cfg.IssueWidth && s.iqCount < s.cfg.IQSize; fetched++ {
+		if !s.havePending {
+			for {
+				if !src.Next(&s.pending) {
+					s.streamDone = true
+					return
+				}
+				if !s.skip(s.pending.Owner) {
+					break
+				}
+			}
+			s.havePending = true
+		}
+		// Instruction cache.
+		if stall := s.instAccess(s.pending.PC, s.pending.Owner); stall > 0 {
+			s.fetchState = fetchIMiss
+			s.fetchReadyAt = s.cycle + uint64(stall)
+			s.fetchBlockOwner = s.pending.Owner
+			s.fetchBlockComp = s.pending.Comp
+			return
+		}
+		entry := iqEntry{inst: s.pending}
+		s.havePending = false
+		if entry.inst.IsBranch && !s.bp[s.setIdx(entry.inst.Owner)].PredictAndTrain(&entry.inst) {
+			entry.mispredict = true
+		}
+		s.iqPush(entry)
+		if entry.mispredict {
+			// Fetch stops until this branch resolves in EXE.
+			s.fetchState = fetchBranchWait
+			s.stalledBranch = s.iqCount - 1
+			s.fetchBlockOwner = entry.inst.Owner
+			s.fetchBlockComp = entry.inst.Comp
+			return
+		}
+	}
+}
+
+// issue tries to issue up to IssueWidth instructions in order from the
+// IQ head, returning how many issued.
+func (s *Simulator) issue() int {
+	issued := 0
+	var issuedOwners [8]Owner
+	var issuedComps [8]Component
+	for issued < s.cfg.IssueWidth && s.iqCount > 0 {
+		e := s.iqAt(0)
+		d := &e.inst
+		if !s.ready(d) {
+			break
+		}
+		switch {
+		case d.IsLoad:
+			lat, l1miss := s.dataAccess(d.PC, d.MemAddr, d.Owner)
+			done := s.cycle + 1 + uint64(lat)
+			if d.Dst != RegNone {
+				s.regReady[d.Dst] = done
+				s.regDMiss[d.Dst] = l1miss
+			}
+		case d.IsStore:
+			// Stores retire through the store buffer; the cache state
+			// updates now, but nothing waits on them.
+			s.dataAccess(d.PC, d.MemAddr, d.Owner)
+		default:
+			if d.Dst != RegNone {
+				s.regReady[d.Dst] = s.cycle + uint64(d.Class.Latency())
+				s.regDMiss[d.Dst] = false
+			}
+		}
+		if e.mispredict && s.fetchState == fetchBranchWait && s.stalledBranch == 0 {
+			// Misprediction detected in EXE: redirect after the penalty.
+			s.fetchState = fetchRedirect
+			s.fetchReadyAt = s.cycle + 1 + uint64(s.cfg.MispredictPenalty)
+			s.stalledBranch = -1
+		}
+		issuedOwners[issued] = d.Owner
+		issuedComps[issued] = d.Comp
+		s.res.Insts[d.Owner]++
+		s.res.InstsByComp[d.Comp]++
+		s.iqPop()
+		issued++
+	}
+	if issued > 0 {
+		share := 1.0 / float64(issued)
+		for i := 0; i < issued; i++ {
+			s.res.InstCycles[issuedOwners[i]] += share
+			s.res.InstCyclesByComp[issuedComps[i]] += share
+		}
+	}
+	return issued
+}
+
+// ready reports whether the instruction's sources are available.
+func (s *Simulator) ready(d *DynInst) bool {
+	if d.Src1 != RegNone && s.regReady[d.Src1] > s.cycle {
+		return false
+	}
+	if d.Src2 != RegNone && s.regReady[d.Src2] > s.cycle {
+		return false
+	}
+	return true
+}
+
+// blockingDMiss reports whether the head instruction is blocked on a
+// register produced by a load that missed in the L1 data cache.
+func (s *Simulator) blockingDMiss(d *DynInst) bool {
+	if d.Src1 != RegNone && s.regReady[d.Src1] > s.cycle && s.regDMiss[d.Src1] {
+		return true
+	}
+	if d.Src2 != RegNone && s.regReady[d.Src2] > s.cycle && s.regDMiss[d.Src2] {
+		return true
+	}
+	return false
+}
+
+// accountBubble classifies a zero-issue cycle into the paper's bubble
+// sources: data-cache miss, instruction-cache miss, branch, scheduling.
+func (s *Simulator) accountBubble() {
+	if s.iqCount > 0 {
+		d := &s.iqAt(0).inst
+		if s.blockingDMiss(d) {
+			s.res.Bubbles[d.Owner][BubbleDMiss]++
+		} else {
+			s.res.Bubbles[d.Owner][BubbleSched]++
+		}
+		s.res.BubblesByComp[d.Comp]++
+		return
+	}
+	switch s.fetchState {
+	case fetchIMiss:
+		s.res.Bubbles[s.fetchBlockOwner][BubbleIMiss]++
+		s.res.BubblesByComp[s.fetchBlockComp]++
+	case fetchBranchWait, fetchRedirect:
+		s.res.Bubbles[s.fetchBlockOwner][BubbleBranch]++
+		s.res.BubblesByComp[s.fetchBlockComp]++
+	default:
+		// Pipeline warm-up or drain with no identified blocker.
+		s.res.UnattributedCycles++
+	}
+}
+
+func (s *Simulator) finishResult() {
+	s.res.Cycles = s.cycle
+	for i := 0; i < int(NumOwners); i++ {
+		if s.l1i[i] == nil {
+			continue
+		}
+		addCache(&s.res.L1I, &s.l1i[i].Stats)
+		addCache(&s.res.L1D, &s.l1d[i].Stats)
+		addCache(&s.res.L2, &s.l2[i].Stats)
+		addCache(&s.res.L1TLB, &s.l1t[i].Stats)
+		addCache(&s.res.L2TLB, &s.l2t[i].Stats)
+		for o := Owner(0); o < NumOwners; o++ {
+			s.res.Branch.Branches[o] += s.bp[i].Stats.Branches[o]
+			s.res.Branch.Mispredicts[o] += s.bp[i].Stats.Mispredicts[o]
+		}
+		s.res.PrefetchesIssued += s.pref[i].Issued
+	}
+}
+
+func addCache(dst, src *CacheStats) {
+	for o := Owner(0); o < NumOwners; o++ {
+		dst.Accesses[o] += src.Accesses[o]
+		dst.Misses[o] += src.Misses[o]
+	}
+}

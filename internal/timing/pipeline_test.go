@@ -1,0 +1,331 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/host"
+)
+
+// mkALU builds a simple-int ALU DynInst.
+func mkALU(pc uint32, dst, src1, src2 uint8, owner Owner) DynInst {
+	return DynInst{
+		PC: pc, Class: host.ClassSimpleInt, Owner: owner,
+		Dst: dst, Src1: src1, Src2: src2,
+	}
+}
+
+func mkLoad(pc, addr uint32, dst uint8, owner Owner) DynInst {
+	return DynInst{
+		PC: pc, Class: host.ClassMem, Owner: owner,
+		Dst: dst, Src1: RegNone, Src2: RegNone,
+		IsLoad: true, MemAddr: addr,
+	}
+}
+
+func runTrace(t *testing.T, insts []DynInst, mode Mode) *Result {
+	t.Helper()
+	sim := NewSimulator(DefaultConfig(), mode)
+	sim.MaxCycles = 10_000_000
+	res, err := sim.Run(&SliceSource{Insts: insts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func seqPCs(n int, start uint32, mk func(i int, pc uint32) DynInst) []DynInst {
+	out := make([]DynInst, n)
+	pc := start
+	for i := range out {
+		out[i] = mk(i, pc)
+		pc += host.InstBytes
+	}
+	return out
+}
+
+// loopTrace repeats a small straight-line body (loops over the same
+// PCs) so the instruction cache warms up, like steady-state code does.
+func loopTrace(bodyLen, iters int, mk func(i int, pc uint32) DynInst) []DynInst {
+	var out []DynInst
+	for it := 0; it < iters; it++ {
+		pc := uint32(0x100000)
+		for i := 0; i < bodyLen; i++ {
+			out = append(out, mk(i, pc))
+			pc += host.InstBytes
+		}
+	}
+	return out
+}
+
+func TestIndependentALUDualIssues(t *testing.T) {
+	// Independent ALU ops in a warm loop: IPC should approach 2.
+	insts := loopTrace(64, 500, func(i int, pc uint32) DynInst {
+		return mkALU(pc, uint8(1+i%8), RegNone, RegNone, OwnerApp)
+	})
+	res := runTrace(t, insts, ModeShared)
+	if ipc := res.IPC(); ipc < 1.8 {
+		t.Fatalf("independent ALU IPC = %.2f, want ~2", ipc)
+	}
+	if res.TotalInsts() != 64*500 {
+		t.Fatalf("retired = %d", res.TotalInsts())
+	}
+}
+
+func TestDependentChainSingleIssues(t *testing.T) {
+	// Each instruction depends on the previous: IPC should be ~1
+	// (1-cycle simple-int latency allows back-to-back but not dual).
+	insts := loopTrace(64, 50, func(i int, pc uint32) DynInst {
+		return mkALU(pc, 1, 1, RegNone, OwnerApp)
+	})
+	res := runTrace(t, insts, ModeShared)
+	if ipc := res.IPC(); ipc > 1.2 || ipc < 0.8 {
+		t.Fatalf("dependent chain IPC = %.2f, want ~1", ipc)
+	}
+}
+
+func TestComplexLatencyCreatesSchedulingBubbles(t *testing.T) {
+	// Dependent FP-complex chain (5-cycle latency): expect scheduling
+	// bubbles to dominate.
+	insts := seqPCs(500, 0x100000, func(i int, pc uint32) DynInst {
+		d := mkALU(pc, fpRegBase+1, fpRegBase+1, RegNone, OwnerApp)
+		d.Class = host.ClassComplexFP
+		return d
+	})
+	res := runTrace(t, insts, ModeShared)
+	if res.Bubbles[OwnerApp][BubbleSched] < float64(res.Cycles)/2 {
+		t.Fatalf("sched bubbles = %.0f of %d cycles", res.Bubbles[OwnerApp][BubbleSched], res.Cycles)
+	}
+}
+
+func TestCacheMissCreatesDataBubbles(t *testing.T) {
+	// Loads striding far apart with dependent consumers: D$ miss
+	// bubbles must appear. Random-ish large strides defeat the
+	// prefetcher (stride varies by construction below).
+	var insts []DynInst
+	pc := uint32(0x100000)
+	addr := uint32(0x40000000)
+	for i := 0; i < 300; i++ {
+		insts = append(insts, mkLoad(pc, addr, 1, OwnerApp))
+		pc += host.InstBytes
+		insts = append(insts, mkALU(pc, 2, 1, RegNone, OwnerApp))
+		pc += host.InstBytes
+		addr += 64*uint32(1+i%7) + 4096*uint32(i%3)
+	}
+	res := runTrace(t, insts, ModeShared)
+	if res.Bubbles[OwnerApp][BubbleDMiss] == 0 {
+		t.Fatal("expected D$ miss bubbles")
+	}
+	if res.L1D.Misses[OwnerApp] == 0 {
+		t.Fatal("expected L1D misses")
+	}
+}
+
+func TestPrefetcherHidesConstantStride(t *testing.T) {
+	// Same PC looping over a constant 64B stride: after warm-up the
+	// prefetcher should hide most misses. Compare against a
+	// prefetcher-less config.
+	mk := func() []DynInst {
+		var insts []DynInst
+		addr := uint32(0x40000000)
+		for i := 0; i < 2000; i++ {
+			insts = append(insts, mkLoad(0x100000, addr, 1, OwnerApp))
+			insts = append(insts, mkALU(0x100004, 2, 1, RegNone, OwnerApp))
+			addr += 64
+		}
+		return insts
+	}
+	cfgNoPf := DefaultConfig()
+	cfgNoPf.PrefetcherEntries = 0
+	simNo := NewSimulator(cfgNoPf, ModeShared)
+	resNo, err := simNo.Run(&SliceSource{Insts: mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simPf := NewSimulator(DefaultConfig(), ModeShared)
+	resPf, err := simPf.Run(&SliceSource{Insts: mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPf.PrefetchesIssued == 0 {
+		t.Fatal("prefetcher never fired")
+	}
+	if resPf.Cycles >= resNo.Cycles {
+		t.Fatalf("prefetcher did not help: %d vs %d cycles", resPf.Cycles, resNo.Cycles)
+	}
+}
+
+func TestMispredictBranchBubbles(t *testing.T) {
+	// One indirect branch at a fixed PC alternating between two
+	// targets: the BTB always holds the previous target, so every
+	// execution mispredicts — the worst case of an unhandled guest
+	// indirect branch.
+	var insts []DynInst
+	branchPC := uint32(0x100000)
+	targets := [2]uint32{0x200000, 0x200100}
+	for i := 0; i < 200; i++ {
+		target := targets[i%2]
+		insts = append(insts, DynInst{
+			PC: branchPC, Class: host.ClassSimpleInt, Owner: OwnerApp,
+			Dst: RegNone, Src1: RegNone, Src2: RegNone,
+			IsBranch: true, IsIndirect: true, Taken: true, Target: target,
+		})
+		insts = append(insts, mkALU(target, 1, RegNone, RegNone, OwnerApp))
+		insts = append(insts, DynInst{
+			PC: target + 4, Class: host.ClassSimpleInt, Owner: OwnerApp,
+			Dst: RegNone, Src1: RegNone, Src2: RegNone,
+			IsBranch: true, Taken: true, Target: branchPC,
+		})
+	}
+	res := runTrace(t, insts, ModeShared)
+	if res.Branch.Mispredicts[OwnerApp] < 190 {
+		t.Fatalf("mispredicts = %d, want nearly all 200", res.Branch.Mispredicts[OwnerApp])
+	}
+	if res.Bubbles[OwnerApp][BubbleBranch] == 0 {
+		t.Fatal("expected branch bubbles")
+	}
+	// Each mispredict costs >= penalty cycles of bubbles.
+	if res.Bubbles[OwnerApp][BubbleBranch] < float64(res.Branch.Mispredicts[OwnerApp]*4) {
+		t.Fatalf("branch bubbles %.0f too low for %d mispredicts",
+			res.Bubbles[OwnerApp][BubbleBranch], res.Branch.Mispredicts[OwnerApp])
+	}
+}
+
+func TestIMissBubblesOnCodeSweep(t *testing.T) {
+	// Walk 4MB of code linearly — far exceeds L1I+L2, so I$ bubbles
+	// must appear.
+	insts := seqPCs(60000, 0x400000, func(i int, pc uint32) DynInst {
+		return mkALU(pc+uint32(i/15)*4096, 1, RegNone, RegNone, OwnerApp)
+	})
+	res := runTrace(t, insts, ModeShared)
+	if res.Bubbles[OwnerApp][BubbleIMiss] == 0 {
+		t.Fatal("expected I$ bubbles")
+	}
+	if res.L1I.Misses[OwnerApp] == 0 {
+		t.Fatal("expected L1I misses")
+	}
+}
+
+func TestModeFiltersOwners(t *testing.T) {
+	mixed := seqPCs(1000, 0x100000, func(i int, pc uint32) DynInst {
+		o := OwnerApp
+		if i%2 == 1 {
+			o = OwnerTOL
+		}
+		d := mkALU(pc, uint8(1+i%8), RegNone, RegNone, o)
+		if o == OwnerTOL {
+			d.Comp = CompIM
+		}
+		return d
+	})
+	appOnly := runTrace(t, append([]DynInst(nil), mixed...), ModeAppOnly)
+	if appOnly.Insts[OwnerTOL] != 0 || appOnly.Insts[OwnerApp] != 500 {
+		t.Fatalf("app-only: %+v", appOnly.Insts)
+	}
+	tolOnly := runTrace(t, append([]DynInst(nil), mixed...), ModeTOLOnly)
+	if tolOnly.Insts[OwnerApp] != 0 || tolOnly.Insts[OwnerTOL] != 500 {
+		t.Fatalf("tol-only: %+v", tolOnly.Insts)
+	}
+	shared := runTrace(t, mixed, ModeShared)
+	if shared.TotalInsts() != 1000 {
+		t.Fatalf("shared: %d", shared.TotalInsts())
+	}
+}
+
+func TestInteractionPenaltyExists(t *testing.T) {
+	// Two owners ping-ponging over disjoint data that conflicts in the
+	// cache: the shared run must take more cycles for the app than the
+	// isolated run.
+	mk := func() []DynInst {
+		var insts []DynInst
+		pcA, pcT := uint32(0x100000), uint32(0x110000)
+		// Both walk 64KB working sets (fits L1 alone, thrashes together
+		// in the same sets by using the same set-index bits).
+		for i := 0; i < 4000; i++ {
+			off := uint32(i%512) * 64
+			insts = append(insts, mkLoad(pcA, 0x40000000+off, 1, OwnerApp))
+			insts = append(insts, mkALU(pcA+4, 2, 1, RegNone, OwnerApp))
+			d1 := mkLoad(pcT, 0x02100000+off, 3, OwnerTOL)
+			d1.Comp = CompCodeCacheLookup
+			d2 := mkALU(pcT+4, 4, 3, RegNone, OwnerTOL)
+			d2.Comp = CompCodeCacheLookup
+			insts = append(insts, d1, d2)
+		}
+		return insts
+	}
+	shared := runTrace(t, mk(), ModeShared)
+	isolated := runTrace(t, mk(), ModeAppOnly)
+	sharedApp := shared.OwnerCycles(OwnerApp)
+	isoApp := float64(isolated.Cycles)
+	if isoApp >= sharedApp*1.001 {
+		t.Fatalf("isolation should not be slower: iso=%.0f shared-app=%.0f", isoApp, sharedApp)
+	}
+}
+
+func TestCycleAttributionCoversAll(t *testing.T) {
+	insts := seqPCs(2000, 0x100000, func(i int, pc uint32) DynInst {
+		d := mkALU(pc, uint8(1+i%4), uint8(1+(i+1)%4), RegNone, OwnerApp)
+		if i%3 == 0 {
+			d = mkLoad(pc, 0x40000000+uint32(i)*68, uint8(1+i%4), OwnerApp)
+		}
+		return d
+	})
+	res := runTrace(t, insts, ModeShared)
+	sum := res.UnattributedCycles
+	for o := Owner(0); o < NumOwners; o++ {
+		sum += res.OwnerCycles(o)
+	}
+	if diff := sum - float64(res.Cycles); diff > 1 || diff < -1 {
+		t.Fatalf("attribution sums to %.1f, cycles = %d", sum, res.Cycles)
+	}
+}
+
+func TestComponentAttribution(t *testing.T) {
+	var insts []DynInst
+	pc := uint32(0x100000)
+	for i := 0; i < 100; i++ {
+		d := mkALU(pc, 1, RegNone, RegNone, OwnerTOL)
+		d.Comp = CompSBM
+		insts = append(insts, d)
+		pc += 4
+	}
+	res := runTrace(t, insts, ModeShared)
+	if res.InstsByComp[CompSBM] != 100 {
+		t.Fatalf("SBM insts = %d", res.InstsByComp[CompSBM])
+	}
+	if res.ComponentCycles(CompSBM) == 0 {
+		t.Fatal("no cycles attributed to SBM")
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	sim := NewSimulator(DefaultConfig(), ModeShared)
+	sim.MaxCycles = 10
+	// A trace long enough to exceed 10 cycles.
+	insts := seqPCs(1000, 0x100000, func(i int, pc uint32) DynInst {
+		return mkALU(pc, 1, 1, RegNone, OwnerApp)
+	})
+	if _, err := sim.Run(&SliceSource{Insts: insts}); err == nil {
+		t.Fatal("expected MaxCycles error")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	res := runTrace(t, nil, ModeShared)
+	if res.Cycles != 0 || res.TotalInsts() != 0 {
+		t.Fatalf("empty stream: %d cycles %d insts", res.Cycles, res.TotalInsts())
+	}
+}
+
+func TestTLBMissesCosted(t *testing.T) {
+	// Touch 1000 distinct pages: far beyond the 256-entry L2 TLB.
+	var insts []DynInst
+	pc := uint32(0x100000)
+	for i := 0; i < 1000; i++ {
+		insts = append(insts, mkLoad(pc, 0x40000000+uint32(i)*4096, 1, OwnerApp))
+		insts = append(insts, mkALU(pc+4, 2, 1, RegNone, OwnerApp))
+	}
+	res := runTrace(t, insts, ModeShared)
+	if res.L1TLB.Misses[OwnerApp] == 0 || res.L2TLB.Misses[OwnerApp] == 0 {
+		t.Fatalf("TLB misses: l1=%d l2=%d", res.L1TLB.Misses[OwnerApp], res.L2TLB.Misses[OwnerApp])
+	}
+}

@@ -1,0 +1,113 @@
+package timing
+
+// BubbleKind classifies stall cycles into the paper's bubble sources
+// (Figure 9): data-cache miss bubbles, instruction-cache miss bubbles,
+// branch bubbles, and instruction-scheduling bubbles (IQ unable to
+// issue due to data dependencies or execution-unit availability).
+type BubbleKind uint8
+
+// Bubble kinds.
+const (
+	BubbleDMiss BubbleKind = iota
+	BubbleIMiss
+	BubbleBranch
+	BubbleSched
+	NumBubbleKinds
+)
+
+var bubbleNames = [NumBubbleKinds]string{"d$-miss", "i$-miss", "branch", "sched"}
+
+func (k BubbleKind) String() string {
+	if int(k) < len(bubbleNames) {
+		return bubbleNames[k]
+	}
+	return "bubble?"
+}
+
+// Result aggregates everything a timing run measures.
+type Result struct {
+	Cycles uint64
+
+	// Retired instruction counts.
+	Insts       [NumOwners]uint64
+	InstsByComp [NumComponents]uint64
+
+	// Cycle attribution. A cycle in which instructions issue is an
+	// instruction cycle, split evenly among the issuing instructions'
+	// owners/components; a cycle with no issue is a bubble charged to
+	// its cause.
+	InstCycles       [NumOwners]float64
+	InstCyclesByComp [NumComponents]float64
+	Bubbles          [NumOwners][NumBubbleKinds]float64
+	BubblesByComp    [NumComponents]float64
+
+	// UnattributedCycles counts drain/warm-up cycles that have no
+	// natural owner (empty pipeline with nothing blocked).
+	UnattributedCycles float64
+
+	// Structure statistics.
+	L1I    CacheStats
+	L1D    CacheStats
+	L2     CacheStats
+	L1TLB  CacheStats
+	L2TLB  CacheStats
+	Branch BranchStats
+
+	PrefetchesIssued uint64
+}
+
+// TotalInsts returns total retired instructions.
+func (r *Result) TotalInsts() uint64 { return r.Insts[OwnerApp] + r.Insts[OwnerTOL] }
+
+// IPC returns retired instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TotalInsts()) / float64(r.Cycles)
+}
+
+// OwnerCycles returns all cycles attributed to an owner (instruction
+// cycles plus bubbles).
+func (r *Result) OwnerCycles(o Owner) float64 {
+	c := r.InstCycles[o]
+	for k := BubbleKind(0); k < NumBubbleKinds; k++ {
+		c += r.Bubbles[o][k]
+	}
+	return c
+}
+
+// ComponentCycles returns all cycles attributed to a TOL component (or
+// the application via CompApp).
+func (r *Result) ComponentCycles(c Component) float64 {
+	return r.InstCyclesByComp[c] + r.BubblesByComp[c]
+}
+
+// TOLShare returns the fraction of execution time spent in TOL — the
+// "overhead" series of the paper's Figure 6.
+func (r *Result) TOLShare() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.OwnerCycles(OwnerTOL) / float64(r.Cycles)
+}
+
+// TotalBubbles returns all bubble cycles.
+func (r *Result) TotalBubbles() float64 {
+	t := 0.0
+	for o := Owner(0); o < NumOwners; o++ {
+		for k := BubbleKind(0); k < NumBubbleKinds; k++ {
+			t += r.Bubbles[o][k]
+		}
+	}
+	return t
+}
+
+// BubbleShare returns the fraction of cycles lost to a bubble kind,
+// summed over owners.
+func (r *Result) BubbleShare(k BubbleKind) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return (r.Bubbles[OwnerApp][k] + r.Bubbles[OwnerTOL][k]) / float64(r.Cycles)
+}

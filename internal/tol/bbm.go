@@ -1,0 +1,232 @@
+package tol
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/mem"
+)
+
+// maxBBInsts caps the length of a decoded basic block.
+const maxBBInsts = 128
+
+// decodedBB is a guest basic block: straight-line instructions ending
+// with an optional control-flow terminator.
+type decodedBB struct {
+	entry uint32
+	insts []guest.Inst // includes the terminator when present
+	pcs   []uint32     // guest PC of each instruction
+	// term is the index of the terminating control-flow instruction in
+	// insts, or -1 when the block was cut by the length cap.
+	term int
+	next uint32 // guest address following the block (fallthrough)
+}
+
+// terminator returns the block's control-flow instruction, or nil.
+func (b *decodedBB) terminator() *guest.Inst {
+	if b.term < 0 {
+		return nil
+	}
+	return &b.insts[b.term]
+}
+
+// Translator builds BBM translations and (via superblock.go) SBM
+// superblocks. It reads guest code through the co-design component's
+// guest memory view.
+type Translator struct {
+	cfg   *Config
+	cc    *CodeCache
+	tt    *TransTable
+	prof  *ProfileTable
+	guest mem.Memory // guest address space view (window-adapted)
+
+	// Work accounting for the cost model (reset per operation).
+	LastWork Work
+}
+
+// Work quantifies the effort of the last translation/optimization, in
+// units the cost model converts into host-instruction streams.
+type Work struct {
+	GuestInsts   int      // guest instructions processed
+	HostEmitted  int      // host instructions produced
+	OptPassInsts int      // instruction visits across optimization passes
+	TableProbes  []uint32 // translation-table slots touched
+}
+
+// NewTranslator wires a translator to the TOL services.
+func NewTranslator(cfg *Config, cc *CodeCache, tt *TransTable, prof *ProfileTable, g mem.Memory) *Translator {
+	return &Translator{cfg: cfg, cc: cc, tt: tt, prof: prof, guest: g}
+}
+
+// decodeBB decodes the basic block starting at guest address entry.
+func (t *Translator) decodeBB(entry uint32) (*decodedBB, error) {
+	bb := &decodedBB{entry: entry, term: -1}
+	pc := entry
+	var buf [guest.MaxInstSize]byte
+	for len(bb.insts) < maxBBInsts {
+		for i := range buf {
+			buf[i] = t.guest.Read8(pc + uint32(i))
+		}
+		in, err := guest.Decode(buf[:])
+		if err != nil {
+			return nil, fmt.Errorf("tol: decode at %#x: %w", pc, err)
+		}
+		bb.insts = append(bb.insts, in)
+		bb.pcs = append(bb.pcs, pc)
+		pc += uint32(in.Size)
+		if in.EndsBlock() {
+			bb.term = len(bb.insts) - 1
+			break
+		}
+	}
+	bb.next = pc
+	return bb, nil
+}
+
+// branchTargets returns the taken target (for direct branches) of a
+// block terminator. ok is false for indirect terminators.
+func branchTarget(in *guest.Inst, instEnd uint32) (uint32, bool) {
+	switch in.Op {
+	case guest.OpJmp, guest.OpJcc, guest.OpCallRel:
+		return instEnd + uint32(in.Imm), true
+	}
+	return 0, false
+}
+
+// TranslateBB translates the basic block at guest address entry,
+// places it in the code cache and registers it in the translation
+// table. Returns the placed translation.
+func (t *Translator) TranslateBB(entry uint32) (*Translation, error) {
+	t.LastWork = Work{}
+	bb, err := t.decodeBB(entry)
+	if err != nil {
+		return nil, err
+	}
+
+	e := newEmitter()
+	tr := &Translation{
+		Kind:       KindBB,
+		GuestEntry: entry,
+		GuestLen:   len(bb.insts),
+		GuestPCs:   bb.pcs,
+	}
+
+	// Prologue: profiling instrumentation (counter increment plus, when
+	// SBM is enabled, the promotion-threshold check).
+	tr.ProfSlot = t.prof.SlotAddr(entry)
+	e.loadImm(sc0, tr.ProfSlot)
+	e.emit(host.Inst{Op: host.Ld, Rd: sc1, Rs1: sc0})
+	e.emit(host.Inst{Op: host.Addi, Rd: sc1, Rs1: sc1, Imm: 1})
+	e.emit(host.Inst{Op: host.St, Rs1: sc0, Rs2: sc1})
+	if t.cfg.EnableSBM {
+		e.loadImm(sc2, uint32(t.cfg.SBThreshold))
+		e.emit(host.Inst{Op: host.Blt, Rs1: sc1, Rs2: sc2, Imm: host.InstBytes}) // skip the exit
+		e.exitStub(&ExitInfo{Reason: ExitPromote, Retired: 0, GuestTarget: entry})
+	}
+	bodyStart := len(e.code)
+
+	// Body.
+	mat := flagsLiveness(bb.insts)
+	bodyEnd := len(bb.insts)
+	if bb.term >= 0 {
+		bodyEnd = bb.term
+	}
+	for i := 0; i < bodyEnd; i++ {
+		e.emitGuestInst(&bb.insts[i], mat[i])
+	}
+
+	// Terminator.
+	n := len(bb.insts)
+	stubStart := t.emitTerminator(e, bb, n)
+	if stubStart < 0 {
+		stubStart = len(e.code)
+	}
+
+	base := t.cc.NextPC()
+	if err := e.seal(base); err != nil {
+		return nil, err
+	}
+	if err := t.cc.Place(tr, e.code, bodyStart, stubStart, e.exits); err != nil {
+		return nil, err
+	}
+	t.LastWork.TableProbes = append(t.LastWork.TableProbes, t.tt.Insert(entry, tr.HostEntry)...)
+	t.LastWork.GuestInsts = len(bb.insts)
+	t.LastWork.HostEmitted = len(e.code)
+	return tr, nil
+}
+
+// emitTerminator emits the control-flow tail of a block: condition
+// tests, pushes for calls, the IBTC probe for indirect branches, and
+// the exit stubs. retired is the number of guest instructions retired
+// when leaving the block. It returns the code index where the stub
+// region starts, or -1 to use the current end of code.
+func (t *Translator) emitTerminator(e *emitter, bb *decodedBB, retired int) int {
+	term := bb.terminator()
+	if term == nil {
+		// Length-capped block: fall through to the next guest address.
+		s := len(e.code)
+		e.exitStub(&ExitInfo{Reason: ExitFallthrough, Retired: retired, GuestTarget: bb.next})
+		return s
+	}
+	instEnd := bb.next // address after the terminator
+
+	switch term.Op {
+	case guest.OpHalt:
+		s := len(e.code)
+		e.exitStub(&ExitInfo{Reason: ExitHalt, Retired: retired - 1, GuestTarget: bb.pcs[bb.term]})
+		return s
+
+	case guest.OpJmp:
+		target, _ := branchTarget(term, instEnd)
+		s := len(e.code)
+		e.exitStub(&ExitInfo{Reason: ExitTaken, Retired: retired, GuestTarget: target})
+		return s
+
+	case guest.OpJcc:
+		target, _ := branchTarget(term, instEnd)
+		takenL := e.newLabel()
+		e.condBranch(term.Cond, true, takenL)
+		s := len(e.code)
+		e.exitStub(&ExitInfo{Reason: ExitFallthrough, Retired: retired, GuestTarget: instEnd})
+		e.define(takenL)
+		e.exitStub(&ExitInfo{Reason: ExitTaken, Retired: retired, GuestTarget: target})
+		return s
+
+	case guest.OpCallRel:
+		target, _ := branchTarget(term, instEnd)
+		t.emitPush(e, instEnd)
+		s := len(e.code)
+		e.exitStub(&ExitInfo{Reason: ExitTaken, Retired: retired, GuestTarget: target})
+		return s
+
+	case guest.OpCallInd:
+		// Read the target before pushing (the target register may be ESP).
+		e.mov(sc3, rG(term.R1))
+		t.emitPush(e, instEnd)
+		e.mov(sc0, sc3)
+		e.emitIBTC(retired, t.cfg.EnableIBTC)
+		return -1
+
+	case guest.OpJmpInd:
+		e.mov(sc0, rG(term.R1))
+		e.emitIBTC(retired, t.cfg.EnableIBTC)
+		return -1
+
+	case guest.OpRet:
+		e.emit(host.Inst{Op: host.Add, Rd: sc1, Rs1: host.RMemBase, Rs2: rG(guest.ESP)})
+		e.emit(host.Inst{Op: host.Ld, Rd: sc0, Rs1: sc1})
+		e.emit(host.Inst{Op: host.Addi, Rd: rG(guest.ESP), Rs1: rG(guest.ESP), Imm: 4})
+		e.emitIBTC(retired, t.cfg.EnableIBTC)
+		return -1
+	}
+	panic(fmt.Sprintf("tol: unexpected terminator %s", term.Op))
+}
+
+// emitPush emits a push of a constant (the return address of a call).
+func (t *Translator) emitPush(e *emitter, value uint32) {
+	e.loadImm(sc1, value)
+	e.emit(host.Inst{Op: host.Addi, Rd: rG(guest.ESP), Rs1: rG(guest.ESP), Imm: -4})
+	e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: rG(guest.ESP)})
+	e.emit(host.Inst{Op: host.St, Rs1: sc0, Rs2: sc1})
+}

@@ -1,0 +1,230 @@
+package tol
+
+import (
+	"fmt"
+
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/timing"
+)
+
+// TransKind distinguishes basic-block translations from superblocks.
+type TransKind uint8
+
+// Translation kinds.
+const (
+	KindBB TransKind = iota
+	KindSB
+)
+
+func (k TransKind) String() string {
+	if k == KindBB {
+		return "bb"
+	}
+	return "sb"
+}
+
+// ExitReason explains why control leaves a translation.
+type ExitReason uint8
+
+// Exit reasons.
+const (
+	ExitFallthrough ExitReason = iota // block end, static target
+	ExitTaken                         // direct branch taken, static target
+	ExitIndirect                      // IBTC miss — guest target in RAppS0
+	ExitIBTCHit                       // IBTC hit jalr — leaves without TOL
+	ExitPromote                       // BBM instrumentation crossed SBth
+	ExitHalt                          // guest halt reached
+	ExitSelfLoop                      // superblock loop back to own entry
+)
+
+var exitNames = [...]string{"fall", "taken", "indirect", "ibtc-hit", "promote", "halt", "selfloop"}
+
+func (r ExitReason) String() string {
+	if int(r) < len(exitNames) {
+		return exitNames[r]
+	}
+	return "exit?"
+}
+
+// ExitInfo describes one exit site of a translation, keyed by the host
+// PC of the exiting control transfer. Retired is how many guest
+// instructions have architecturally completed when control leaves
+// through this exit; the engine uses it for co-simulation and for the
+// per-mode dynamic instruction accounting of Figure 5b.
+type ExitInfo struct {
+	Reason      ExitReason
+	Retired     int
+	GuestTarget uint32 // static guest target; 0 when dynamic
+	Dynamic     bool   // target known only at run time
+	Chained     bool   // patched to jump directly to another translation
+}
+
+// Translation is one code-cache entry: a translated basic block or an
+// optimized superblock.
+type Translation struct {
+	Kind       TransKind
+	GuestEntry uint32
+	GuestLen   int      // guest instructions covered (static)
+	GuestPCs   []uint32 // guest PC of each covered instruction
+	HostEntry  uint32
+	HostEnd    uint32 // exclusive
+
+	// Region boundaries for owner attribution: [HostEntry, BodyStart)
+	// is TOL-owned instrumentation; [BodyStart, StubStart) is
+	// application code; [StubStart, HostEnd) is TOL-owned exit glue.
+	BodyStart uint32
+	StubStart uint32
+
+	Exits map[uint32]*ExitInfo // keyed by host PC of the exit branch
+
+	// ProfSlot is the profile counter address for BBM instrumentation
+	// (0 for superblocks).
+	ProfSlot uint32
+}
+
+// OwnerComp returns the owner and component attribution for a host PC
+// inside this translation.
+func (tr *Translation) OwnerComp(pc uint32) (timing.Owner, timing.Component) {
+	switch {
+	case pc < tr.BodyStart:
+		return timing.OwnerTOL, timing.CompBBM // profiling instrumentation
+	case pc < tr.StubStart:
+		return timing.OwnerApp, timing.CompApp
+	default:
+		return timing.OwnerTOL, timing.CompTOLOther // exit/transition glue
+	}
+}
+
+// CodeCache stores translated host code at simulated addresses in the
+// code-cache region. It implements host.CodeStore for the functional
+// CPU and supports patching for chaining.
+type CodeCache struct {
+	insts   []host.Inst
+	top     uint32 // next free slot index
+	byEntry map[uint32]*Translation
+	all     []*Translation
+
+	// Stats.
+	BBCount int
+	SBCount int
+}
+
+// NewCodeCache returns an empty code cache.
+func NewCodeCache() *CodeCache {
+	return &CodeCache{
+		insts:   make([]host.Inst, 0, 1<<16),
+		byEntry: make(map[uint32]*Translation),
+	}
+}
+
+// capacityInsts is the code-cache capacity in instructions.
+const capacityInsts = mem.CodeCacheSize / host.InstBytes
+
+// PCOf converts an instruction slot index to its host PC.
+func (c *CodeCache) PCOf(slot uint32) uint32 {
+	return mem.CodeCacheBase + slot*host.InstBytes
+}
+
+// NextPC returns the host PC at which the next placed translation will
+// begin; emitters seal their exit-stub offsets against it.
+func (c *CodeCache) NextPC() uint32 { return c.PCOf(c.top) }
+
+// slotOf converts a host PC to a slot index.
+func (c *CodeCache) slotOf(pc uint32) uint32 {
+	return (pc - mem.CodeCacheBase) / host.InstBytes
+}
+
+// Contains reports whether pc falls inside the code-cache region.
+func (c *CodeCache) Contains(pc uint32) bool {
+	return pc >= mem.CodeCacheBase && pc < mem.CodeCacheBase+mem.CodeCacheSize
+}
+
+// InstAt implements host.CodeStore.
+func (c *CodeCache) InstAt(pc uint32) *host.Inst {
+	if !c.Contains(pc) {
+		return nil
+	}
+	slot := c.slotOf(pc)
+	if slot >= uint32(len(c.insts)) {
+		return nil
+	}
+	return &c.insts[slot]
+}
+
+// Place appends a translation's code to the cache, fixing up its host
+// addresses. The translation's HostEntry/BodyStart/StubStart/Exits must
+// be expressed as offsets (in instructions) before placement; Place
+// rewrites them to absolute PCs.
+func (c *CodeCache) Place(tr *Translation, code []host.Inst,
+	bodyStartIdx, stubStartIdx int, exitsAtIdx map[int]*ExitInfo) error {
+	if uint32(len(c.insts))+uint32(len(code)) > capacityInsts {
+		return fmt.Errorf("tol: code cache full (%d insts)", len(c.insts))
+	}
+	base := c.top
+	c.insts = append(c.insts, code...)
+	c.top += uint32(len(code))
+
+	tr.HostEntry = c.PCOf(base)
+	tr.HostEnd = c.PCOf(c.top)
+	tr.BodyStart = c.PCOf(base + uint32(bodyStartIdx))
+	tr.StubStart = c.PCOf(base + uint32(stubStartIdx))
+	tr.Exits = make(map[uint32]*ExitInfo, len(exitsAtIdx))
+	for idx, e := range exitsAtIdx {
+		tr.Exits[c.PCOf(base+uint32(idx))] = e
+	}
+	c.byEntry[tr.HostEntry] = tr
+	c.all = append(c.all, tr)
+	if tr.Kind == KindBB {
+		c.BBCount++
+	} else {
+		c.SBCount++
+	}
+	return nil
+}
+
+// EntryAt returns the translation whose entry point is pc, or nil.
+func (c *CodeCache) EntryAt(pc uint32) *Translation {
+	return c.byEntry[pc]
+}
+
+// FindByPC returns the translation containing pc, or nil. Linear scan
+// over placements is avoided by exploiting contiguous allocation: we
+// binary-search the sorted placement list.
+func (c *CodeCache) FindByPC(pc uint32) *Translation {
+	if !c.Contains(pc) {
+		return nil
+	}
+	lo, hi := 0, len(c.all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.all[mid].HostEnd <= pc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.all) && pc >= c.all[lo].HostEntry && pc < c.all[lo].HostEnd {
+		return c.all[lo]
+	}
+	return nil
+}
+
+// Patch replaces the instruction at host PC with a direct jump to
+// target (chaining). It returns an error if pc is not a valid slot.
+func (c *CodeCache) Patch(pc uint32, target uint32) error {
+	slot := c.slotOf(pc)
+	if !c.Contains(pc) || slot >= uint32(len(c.insts)) {
+		return fmt.Errorf("tol: patch outside code cache: %#x", pc)
+	}
+	// jal r0, offset — offset relative to the next instruction.
+	off := int32(target) - int32(pc+host.InstBytes)
+	c.insts[slot] = host.Inst{Op: host.Jal, Rd: host.RZero, Imm: off}
+	return nil
+}
+
+// UsedInsts returns the number of occupied instruction slots.
+func (c *CodeCache) UsedInsts() int { return len(c.insts) }
+
+// Translations returns all placed translations in placement order.
+func (c *CodeCache) Translations() []*Translation { return c.all }

@@ -1,0 +1,381 @@
+package tol
+
+import (
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/timing"
+)
+
+// The cost model renders TOL's own execution — interpreting,
+// translating, optimizing, code cache lookups, chaining, transitions —
+// into dynamic host-instruction streams for the timing simulator.
+// Streams carry real simulated addresses: interpreter fetches load the
+// actual guest code bytes through the memory window, code cache
+// lookups load the actual translation-table slots probed, the
+// translator stores to the actual code-cache locations it fills, and
+// the optimizer walks the IR buffer region. TOL therefore competes for
+// the data cache, instruction cache and branch predictor exactly the
+// way the paper's software layer does.
+//
+// Per-activity instruction budgets (tuned to land in the ranges the
+// paper reports — e.g. interpretation costing tens of host
+// instructions per guest instruction, indirect-branch servicing "in
+// the order of tens of RISC instructions", SBM an order of magnitude
+// above BBM per instruction):
+const (
+	costDispatchLen   = 5 // dispatch loop per interpreted instruction
+	costHandlerBase   = 5 // minimum handler body
+	costHandlerFlags  = 5 // extra when the op writes EFLAGS
+	costHandlerMem    = 3 // extra address computation for memory ops
+	costHandlerFP     = 3 // extra for FP ops
+	costHandlerBranch = 5 // extra next-EIP handling for branches
+	costIMTargetCheck = 3 // quick translated-target check per IM branch
+
+	costLookupHash  = 5 // hash computation before probing
+	costLookupProbe = 3 // per probe: load + compare + branch
+	costLookupTail  = 3
+
+	costTransitionLen = 14 // translated code -> TOL glue (TOL others)
+	costChainALU      = 9  // patch computation around the code store
+	costIBTCFillALU   = 6
+
+	costBBMPerGuestInst = 26 // decode + IR + emit ALU work per guest inst
+	costBBMPerHostInst  = 4  // per emitted host instruction (incl. store)
+	costBBMFixed        = 90
+
+	costSBMPerGuestInst = 70 // trace build + IR work per guest inst
+	costSBMPerPassVisit = 11 // per optimization-pass instruction visit
+	costSBMPerHostInst  = 9  // per emitted host instruction
+	costSBMFixed        = 320
+)
+
+// costEmitter builds TOL-owned DynInst bursts. It keeps a rotating
+// register window so the generated streams have realistic dependency
+// distance (ILP ≈ 2 between cache events).
+type costEmitter struct {
+	out     *dynQueue
+	regRot  uint8
+	prevDst uint8
+}
+
+func newCostEmitter(q *dynQueue) *costEmitter {
+	return &costEmitter{out: q, prevDst: timing.RegNone}
+}
+
+// rot returns the next destination register (TOL half, r1..r12).
+func (c *costEmitter) rot() uint8 {
+	c.regRot++
+	if c.regRot > 12 {
+		c.regRot = 1
+	}
+	return c.regRot
+}
+
+// alu appends one simple-int ALU instruction at pc. Every other
+// instruction depends on its predecessor, which yields a realistic
+// ILP between memory events.
+func (c *costEmitter) alu(comp timing.Component, pc uint32) uint32 {
+	d := timing.DynInst{
+		PC: pc, Class: host.ClassSimpleInt, Owner: timing.OwnerTOL, Comp: comp,
+		Dst: c.rot(), Src1: timing.RegNone, Src2: timing.RegNone,
+	}
+	if c.regRot%2 == 0 {
+		d.Src1 = c.prevDst
+	}
+	c.prevDst = d.Dst
+	c.out.push(d)
+	return pc + host.InstBytes
+}
+
+// aluN appends n ALU instructions starting at pc.
+func (c *costEmitter) aluN(comp timing.Component, pc uint32, n int) uint32 {
+	for i := 0; i < n; i++ {
+		pc = c.alu(comp, pc)
+	}
+	return pc
+}
+
+// load appends a load at pc from addr; the loaded value feeds the next
+// ALU instruction through the rotation.
+func (c *costEmitter) load(comp timing.Component, pc, addr uint32) uint32 {
+	d := timing.DynInst{
+		PC: pc, Class: host.ClassMem, Owner: timing.OwnerTOL, Comp: comp,
+		Dst: c.rot(), Src1: timing.RegNone, Src2: timing.RegNone,
+		IsLoad: true, MemAddr: addr,
+	}
+	c.prevDst = d.Dst
+	c.out.push(d)
+	return pc + host.InstBytes
+}
+
+// store appends a store at pc to addr.
+func (c *costEmitter) store(comp timing.Component, pc, addr uint32) uint32 {
+	d := timing.DynInst{
+		PC: pc, Class: host.ClassMem, Owner: timing.OwnerTOL, Comp: comp,
+		Dst: timing.RegNone, Src1: c.prevDst, Src2: timing.RegNone,
+		IsStore: true, MemAddr: addr,
+	}
+	c.out.push(d)
+	return pc + host.InstBytes
+}
+
+// branch appends a direct conditional branch at pc.
+func (c *costEmitter) branch(comp timing.Component, pc uint32, taken bool, target uint32) uint32 {
+	c.out.push(timing.DynInst{
+		PC: pc, Class: host.ClassSimpleInt, Owner: timing.OwnerTOL, Comp: comp,
+		Dst: timing.RegNone, Src1: c.prevDst, Src2: timing.RegNone,
+		IsBranch: true, IsCond: true, Taken: taken, Target: target,
+	})
+	if taken {
+		return target
+	}
+	return pc + host.InstBytes
+}
+
+// indirect appends an indirect jump at pc to target.
+func (c *costEmitter) indirect(comp timing.Component, pc, target uint32) uint32 {
+	c.out.push(timing.DynInst{
+		PC: pc, Class: host.ClassSimpleInt, Owner: timing.OwnerTOL, Comp: comp,
+		Dst: timing.RegNone, Src1: c.prevDst, Src2: timing.RegNone,
+		IsBranch: true, IsIndirect: true, Taken: true, Target: target,
+	})
+	return target
+}
+
+// InterpStep emits the interpretation of one guest instruction: the
+// dispatch loop (guest code fetch as data loads, dispatch-table load,
+// indirect jump to the handler), the opcode handler body, the guest
+// instruction's own data access if any, and the jump back to dispatch.
+func (c *costEmitter) InterpStep(res *guest.StepResult, eip uint32) {
+	in := &res.Inst
+	pc := dispatchText
+	// Fetch the guest instruction bytes (data loads through the window).
+	pc = c.load(timing.CompIM, pc, mem.GuestToHost(eip))
+	if in.Size > 4 {
+		pc = c.load(timing.CompIM, pc, mem.GuestToHost(eip+4))
+	}
+	// Dispatch-table load and indirect jump to the handler.
+	pc = c.load(timing.CompIM, pc, mem.DispatchTableBase+uint32(in.Op)*4)
+	pc = c.aluN(timing.CompIM, pc, costDispatchLen-3)
+	handler := interpHandlerText(uint8(in.Op))
+	pc = c.indirect(timing.CompIM, pc, handler)
+
+	// Handler body.
+	n := costHandlerBase
+	if in.WritesFlags() {
+		n += costHandlerFlags
+	}
+	if in.IsMemAccess() {
+		n += costHandlerMem
+	}
+	if in.IsFP() {
+		n += costHandlerFP
+	}
+	if in.IsBranch() {
+		n += costHandlerBranch
+	}
+	pc = c.aluN(timing.CompIM, pc, n)
+	// The emulated instruction's own memory access.
+	if res.IsLoad {
+		pc = c.load(timing.CompIM, pc, mem.GuestToHost(res.MemAddr))
+	} else if res.IsStore {
+		pc = c.store(timing.CompIM, pc, mem.GuestToHost(res.MemAddr))
+	}
+	// Back to the dispatch loop.
+	c.indirect(timing.CompIM, pc, dispatchText)
+}
+
+// IMProfile emits the interpreter-side branch-target bookkeeping:
+// counter load/increment/store at the target's profile slot plus the
+// quick translated-target check.
+func (c *costEmitter) IMProfile(profAddr uint32, probe uint32) {
+	pc := dispatchText + 0x40
+	pc = c.load(timing.CompIM, pc, profAddr)
+	pc = c.alu(timing.CompIM, pc)
+	pc = c.store(timing.CompIM, pc, profAddr)
+	pc = c.aluN(timing.CompIM, pc, costIMTargetCheck)
+	c.load(timing.CompCodeCacheLookup, lookupText, transSlotAddr(probe))
+}
+
+// Lookup emits a full code cache lookup over the given probed slots.
+// When the lookup succeeds, the translation descriptor of the found
+// entry is read as well (three fields across its metadata record) —
+// the data-intensive traversal the paper identifies.
+func (c *costEmitter) Lookup(probes []uint32, found bool) {
+	pc := lookupText
+	pc = c.aluN(timing.CompCodeCacheLookup, pc, costLookupHash)
+	var hit uint32
+	for i, slot := range probes {
+		pc = c.load(timing.CompCodeCacheLookup, pc, transSlotAddr(slot))
+		pc = c.alu(timing.CompCodeCacheLookup, pc)
+		last := i == len(probes)-1
+		pc = c.branch(timing.CompCodeCacheLookup, pc, last, pc+3*host.InstBytes)
+		hit = slot
+	}
+	if found {
+		desc := descAddr(transSlotAddr(hit))
+		pc = c.load(timing.CompCodeCacheLookup, pc, desc)
+		pc = c.load(timing.CompCodeCacheLookup, pc, desc+12)
+		pc = c.load(timing.CompCodeCacheLookup, pc, desc+24)
+	}
+	c.aluN(timing.CompCodeCacheLookup, pc, costLookupTail)
+}
+
+// Transition emits the translated-code-to-TOL transition glue
+// (context handling, exit-descriptor decoding) attributed to "TOL
+// others". exitPC selects which exit descriptor is read, so distinct
+// exits touch distinct metadata lines — the data-intensive transition
+// behaviour behind the paper's perlbench analysis.
+func (c *costEmitter) Transition(exitPC uint32) {
+	pc := dispatchText + 0x80
+	pc = c.load(timing.CompTOLOther, pc, mem.TOLStackBase-16)
+	pc = c.load(timing.CompTOLOther, pc, mem.TOLStackBase-48)
+	// Exit descriptor block: three fields across the descriptor region.
+	desc := descAddr(exitPC)
+	pc = c.load(timing.CompTOLOther, pc, desc)
+	pc = c.load(timing.CompTOLOther, pc, desc+8)
+	pc = c.load(timing.CompTOLOther, pc, desc+16)
+	pc = c.aluN(timing.CompTOLOther, pc, costTransitionLen-6)
+	pc = c.store(timing.CompTOLOther, pc, mem.TOLStackBase-16)
+	pc = c.store(timing.CompTOLOther, pc, desc+24)
+	c.indirect(timing.CompTOLOther, pc, dispatchText)
+}
+
+// descAddr maps an exit host PC to its 32-byte exit-descriptor record
+// in the IR-buffer/metadata region.
+func descAddr(exitPC uint32) uint32 {
+	return mem.IRBufBase + 0x8_0000 + (exitPC>>2)%0xFFF0*32
+}
+
+// ResumeJump emits the dispatch loop's indirect jump into the code
+// cache when TOL hands control back to a translation — a varying-target
+// branch that stresses the BTB exactly like the translated code's own
+// indirect jumps do.
+func (c *costEmitter) ResumeJump(hostEntry uint32) {
+	pc := dispatchText + 0xa0
+	pc = c.alu(timing.CompTOLOther, pc)
+	c.indirect(timing.CompTOLOther, pc, hostEntry)
+}
+
+// Chain emits a chaining operation: reading and patching the exit
+// branch at patchPC in the code cache.
+func (c *costEmitter) Chain(patchPC uint32) {
+	pc := chainText
+	pc = c.aluN(timing.CompChaining, pc, costChainALU/2)
+	pc = c.load(timing.CompChaining, pc, patchPC)
+	pc = c.aluN(timing.CompChaining, pc, costChainALU-costChainALU/2)
+	c.store(timing.CompChaining, pc, patchPC)
+}
+
+// IBTCFill emits the IBTC update after a lookup served an indirect
+// branch miss.
+func (c *costEmitter) IBTCFill(target uint32) {
+	pc := ibtcFillText
+	pc = c.aluN(timing.CompTOLOther, pc, costIBTCFillALU)
+	addr := ibtcSlotAddr(ibtcSlotFor(target))
+	pc = c.store(timing.CompTOLOther, pc, addr)
+	c.store(timing.CompTOLOther, pc, addr+4)
+}
+
+// BBMTranslate emits the cost of translating one basic block: decode
+// loads of the guest code, translator ALU work, stores of the emitted
+// host instructions into the code cache, and the translation-table
+// insert probes.
+func (c *costEmitter) BBMTranslate(tr *Translation, work *Work) {
+	pc := translateText
+	pc = c.aluN(timing.CompBBM, pc, costBBMFixed/2)
+	for i, gpc := range tr.GuestPCs {
+		pc = c.load(timing.CompBBM, pc, mem.GuestToHost(gpc))
+		pc = c.aluN(timing.CompBBM, pc, costBBMPerGuestInst-1)
+		// Loop back through the translator text for the next guest
+		// instruction (predictable backward branch).
+		if i != len(tr.GuestPCs)-1 {
+			pc = c.branch(timing.CompBBM, pc, true, translateText+8*host.InstBytes)
+		}
+	}
+	// Emission: store the produced host code into the code cache.
+	hostPC := tr.HostEntry
+	for i := 0; i < work.HostEmitted; i++ {
+		pc = c.aluN(timing.CompBBM, pc, costBBMPerHostInst-1)
+		pc = c.store(timing.CompBBM, pc, hostPC)
+		hostPC += host.InstBytes
+	}
+	for _, slot := range work.TableProbes {
+		pc = c.load(timing.CompBBM, pc, transSlotAddr(slot))
+	}
+	pc = c.store(timing.CompBBM, pc, tr.ProfSlot)
+	c.aluN(timing.CompBBM, pc, costBBMFixed-costBBMFixed/2)
+}
+
+// SBMOptimize emits the cost of forming and optimizing a superblock:
+// trace construction reads guest code, the IR is built and repeatedly
+// visited in the IR buffer region, and the final code is stored into
+// the code cache.
+func (c *costEmitter) SBMOptimize(tr *Translation, work *Work) {
+	pc := optimizeText
+	pc = c.aluN(timing.CompSBM, pc, costSBMFixed/2)
+	// Trace construction + IR build.
+	for i, gpc := range tr.GuestPCs {
+		pc = c.load(timing.CompSBM, pc, mem.GuestToHost(gpc))
+		irAddr := mem.IRBufBase + uint32(i%4096)*16
+		pc = c.store(timing.CompSBM, pc, irAddr)
+		pc = c.aluN(timing.CompSBM, pc, costSBMPerGuestInst-2)
+	}
+	// Optimization passes: each visit loads and updates an IR slot.
+	for v := 0; v < work.OptPassInsts; v++ {
+		irAddr := mem.IRBufBase + uint32(v%4096)*16
+		pc = c.load(timing.CompSBM, pc, irAddr)
+		pc = c.aluN(timing.CompSBM, pc, costSBMPerPassVisit-2)
+		pc = c.store(timing.CompSBM, pc, irAddr)
+		if v%16 == 15 {
+			pc = c.branch(timing.CompSBM, pc, true, optimizeText+16*host.InstBytes)
+		}
+	}
+	// Emission into the code cache.
+	hostPC := tr.HostEntry
+	for i := 0; i < work.HostEmitted; i++ {
+		pc = c.aluN(timing.CompSBM, pc, costSBMPerHostInst-1)
+		pc = c.store(timing.CompSBM, pc, hostPC)
+		hostPC += host.InstBytes
+	}
+	for _, slot := range work.TableProbes {
+		pc = c.load(timing.CompSBM, pc, transSlotAddr(slot))
+	}
+	c.aluN(timing.CompSBM, pc, costSBMFixed-costSBMFixed/2)
+}
+
+// Init emits TOL start-up work (one-time, attributed to TOL others).
+func (c *costEmitter) Init() {
+	pc := dispatchText + 0xc0
+	for i := 0; i < 40; i++ {
+		pc = c.aluN(timing.CompTOLOther, pc, 4)
+		pc = c.store(timing.CompTOLOther, pc, mem.TOLStackBase-64-uint32(i)*4)
+		if i%8 == 7 {
+			pc = c.branch(timing.CompTOLOther, pc, true, dispatchText+0xc0)
+		}
+	}
+}
+
+// dynQueue is the engine's pending dynamic-instruction buffer.
+type dynQueue struct {
+	buf  []timing.DynInst
+	head int
+}
+
+func (q *dynQueue) push(d timing.DynInst) { q.buf = append(q.buf, d) }
+
+func (q *dynQueue) pop(d *timing.DynInst) bool {
+	if q.head >= len(q.buf) {
+		return false
+	}
+	*d = q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return true
+}
+
+func (q *dynQueue) empty() bool { return q.head >= len(q.buf) }

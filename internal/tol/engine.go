@@ -1,0 +1,491 @@
+package tol
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/timing"
+	"repro/internal/x86emu"
+)
+
+// Engine is the co-design component: the host CPU, the TOL services,
+// and the cost model, driven as a pull-based dynamic instruction
+// stream (timing.StreamSource). Interleaved with the functional
+// execution it emits every host instruction — translated application
+// code executed by the CPU, and TOL activity rendered by the cost
+// model — tagged with owner and component.
+//
+// When cosim is enabled an authoritative guest emulator (the x86
+// component) runs in lockstep; architectural state is compared at
+// every interpreted instruction and at every translation exit,
+// implementing the infrastructure's state-checking methodology.
+type Engine struct {
+	Cfg Config
+
+	HostMem *mem.Sparse
+	CPU     *host.CPU
+	GuestV  mem.GuestView
+
+	CC    *CodeCache
+	TT    *TransTable
+	IB    *IBTC
+	Prof  *ProfileTable
+	Trans *Translator
+
+	cost  *costEmitter
+	queue dynQueue
+
+	gs           guest.State // canonical guest state while in IM
+	inTranslated bool
+	curTrans     *Translation
+	halted       bool
+	err          error
+
+	shadow   *x86emu.Emulator
+	promoted map[uint32]*Translation
+
+	Stats Stats
+}
+
+// queueDrainThreshold bounds how much stream the engine buffers before
+// letting the timing simulator drain it.
+const queueDrainThreshold = 4096
+
+// NewEngine builds the co-design component for a guest program.
+func NewEngine(cfg Config, p *guest.Program) *Engine {
+	hm := mem.NewSparse()
+	p.LoadIntoWindow(hm)
+	e := &Engine{
+		Cfg:     cfg,
+		HostMem: hm,
+		CPU:     host.NewCPU(hm),
+		GuestV:  mem.GuestView{Host: hm},
+		CC:      NewCodeCache(),
+		TT:      NewTransTable(),
+		IB:      NewIBTC(hm),
+		Prof:    NewProfileTable(hm),
+
+		promoted: make(map[uint32]*Translation),
+	}
+	e.Trans = NewTranslator(&e.Cfg, e.CC, e.TT, e.Prof, e.GuestV)
+	e.cost = newCostEmitter(&e.queue)
+	e.gs.EIP = p.Entry
+	e.gs.Regs[guest.ESP] = mem.GuestStackTop
+	if cfg.Cosim {
+		e.shadow = x86emu.New(p)
+	}
+	e.cost.Init()
+	return e
+}
+
+// Err returns the first execution error, if any.
+func (e *Engine) Err() error { return e.err }
+
+// Halted reports whether the guest program reached its halt.
+func (e *Engine) Halted() bool { return e.halted }
+
+// GuestState returns the current guest architectural state (only
+// meaningful once halted or while in IM).
+func (e *Engine) GuestState() *guest.State { return &e.gs }
+
+// Next implements timing.StreamSource.
+func (e *Engine) Next(d *timing.DynInst) bool {
+	for {
+		if e.queue.pop(d) {
+			return true
+		}
+		if e.halted || e.err != nil {
+			return false
+		}
+		if e.inTranslated {
+			e.runTranslated()
+		} else {
+			e.stepIM()
+		}
+	}
+}
+
+// Run drives the engine to completion without a timing simulator,
+// discarding the stream. Useful for functional tests.
+func (e *Engine) Run() error {
+	var d timing.DynInst
+	for e.Next(&d) {
+	}
+	return e.err
+}
+
+func (e *Engine) fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf(format, args...)
+	}
+}
+
+// stateFromCPU reconstructs the guest architectural state from the
+// application half of the host register file.
+func (e *Engine) stateFromCPU(eip uint32) guest.State {
+	var s guest.State
+	for i := 0; i < guest.NumRegs; i++ {
+		s.Regs[i] = e.CPU.R[host.GuestReg(uint8(i))]
+	}
+	s.Flags = e.CPU.R[host.RFlags]
+	for i := 0; i < guest.NumFRegs; i++ {
+		s.FRegs[i] = e.CPU.F[host.GuestFReg(uint8(i))]
+	}
+	s.EIP = eip
+	return s
+}
+
+// syncCPUFromState loads the guest state into the host registers per
+// the translation ABI.
+func (e *Engine) syncCPUFromState() {
+	for i := 0; i < guest.NumRegs; i++ {
+		e.CPU.R[host.GuestReg(uint8(i))] = e.gs.Regs[i]
+	}
+	e.CPU.R[host.RFlags] = e.gs.Flags & guest.FlagsMask
+	for i := 0; i < guest.NumFRegs; i++ {
+		e.CPU.F[host.GuestFReg(uint8(i))] = e.gs.FRegs[i]
+	}
+}
+
+// stepIM interprets one guest instruction.
+func (e *Engine) stepIM() {
+	if e.Cfg.MaxGuestInsts != 0 && e.Stats.DynTotal() >= e.Cfg.MaxGuestInsts {
+		e.fail("tol: guest instruction budget (%d) exhausted at eip=%#x", e.Cfg.MaxGuestInsts, e.gs.EIP)
+		return
+	}
+	eip := e.gs.EIP
+	var res guest.StepResult
+	if err := guest.Step(&e.gs, e.GuestV, &res); err != nil {
+		e.fail("tol: interpreter: %v", err)
+		return
+	}
+	if res.Halted {
+		e.halted = true
+		return
+	}
+	e.Stats.DynIM++
+	e.Stats.markStatic(eip, ModeIM)
+	e.cost.InterpStep(&res, eip)
+	if res.Inst.IsIndirectBranch() {
+		e.Stats.IndirectDyn++
+	}
+
+	if e.shadow != nil {
+		if _, err := e.shadow.Step(); err != nil {
+			e.fail("tol: shadow emulator: %v", err)
+			return
+		}
+		e.Stats.CosimChecks++
+		if d := e.gs.Diff(&e.shadow.State); d != "" {
+			e.fail("tol: cosim divergence in IM at eip=%#x: %s", eip, d)
+			return
+		}
+	}
+
+	if !res.Taken {
+		return
+	}
+	e.Stats.InterpBranches++
+	target := res.Target
+
+	// Profile the branch target and check for an existing translation.
+	cnt := e.Prof.Bump(target)
+	entry, ok, probes := e.TT.Lookup(target)
+	e.Stats.Lookups++
+	e.Stats.LookupProbes += uint64(len(probes))
+	e.cost.IMProfile(e.Prof.SlotAddr(target), probes[0])
+	e.cost.Lookup(probes, ok)
+	if ok {
+		e.enterTranslated(entry)
+		return
+	}
+	if int(cnt) > e.Cfg.BBThreshold {
+		tr := e.translateBB(target)
+		if tr != nil {
+			e.enterTranslated(tr.HostEntry)
+		}
+	}
+}
+
+// translateBB runs the BBM translator for the block at guest address g.
+func (e *Engine) translateBB(g uint32) *Translation {
+	tr, err := e.Trans.TranslateBB(g)
+	if err != nil {
+		e.fail("tol: bbm: %v", err)
+		return nil
+	}
+	e.Stats.BBTranslated++
+	for _, pc := range tr.GuestPCs {
+		e.Stats.markStatic(pc, ModeBBM)
+	}
+	e.cost.BBMTranslate(tr, &e.Trans.LastWork)
+	return tr
+}
+
+// buildSB runs the SBM optimizer seeded at guest address g.
+func (e *Engine) buildSB(g uint32) *Translation {
+	tr, err := e.Trans.BuildSuperblock(g)
+	if err != nil {
+		e.fail("tol: sbm: %v", err)
+		return nil
+	}
+	e.Stats.SBCreated++
+	for _, pc := range tr.GuestPCs {
+		e.Stats.markStatic(pc, ModeSBM)
+	}
+	e.cost.SBMOptimize(tr, &e.Trans.LastWork)
+	return tr
+}
+
+// enterTranslated switches from IM into the code cache at hostEntry.
+func (e *Engine) enterTranslated(hostEntry uint32) {
+	tr := e.CC.EntryAt(hostEntry)
+	if tr == nil {
+		e.fail("tol: enter at %#x: no translation", hostEntry)
+		return
+	}
+	e.syncCPUFromState()
+	e.cost.ResumeJump(hostEntry)
+	e.CPU.PC = hostEntry
+	e.curTrans = tr
+	e.inTranslated = true
+}
+
+// runTranslated executes host instructions from the code cache until
+// control returns to TOL, the stream buffer fills, or the guest halts.
+func (e *Engine) runTranslated() {
+	cpu := e.CPU
+	for {
+		pc := cpu.PC
+		inst := e.CC.InstAt(pc)
+		if inst == nil {
+			e.fail("tol: execution outside code cache at %#x (translation %#x)", pc, e.curTrans.HostEntry)
+			return
+		}
+		var out host.Outcome
+		if err := cpu.Exec(inst, &out); err != nil {
+			e.fail("tol: host exec: %v", err)
+			return
+		}
+		var d timing.DynInst
+		timing.FillFromHost(&d, pc, inst, &out)
+		d.Owner, d.Comp = e.curTrans.OwnerComp(pc)
+		e.queue.push(d)
+
+		if out.Taken {
+			if out.Target == TOLEntry {
+				e.handleExit(pc)
+				return
+			}
+			if tr := e.CC.EntryAt(out.Target); tr != nil && (out.Target != pc || tr != e.curTrans) {
+				// Crossing into another translation (chaining, IBTC hit,
+				// self-loop back edge): account the exit and continue.
+				if !e.accountExit(pc) {
+					return
+				}
+				e.curTrans = tr
+				if e.budgetExceeded() {
+					return
+				}
+			}
+		}
+		if e.queue.head == 0 && len(e.queue.buf) >= queueDrainThreshold {
+			return
+		}
+	}
+}
+
+func (e *Engine) budgetExceeded() bool {
+	if e.Cfg.MaxGuestInsts != 0 && e.Stats.DynTotal() >= e.Cfg.MaxGuestInsts {
+		e.fail("tol: guest instruction budget (%d) exhausted in translated code", e.Cfg.MaxGuestInsts)
+		return true
+	}
+	return false
+}
+
+// accountExit processes the bookkeeping of leaving the current
+// translation through the exit at host PC pc: per-mode retired-
+// instruction counts and the co-simulation state check. Returns false
+// on failure.
+func (e *Engine) accountExit(pc uint32) bool {
+	info := e.curTrans.Exits[pc]
+	if info == nil {
+		e.fail("tol: unknown exit at %#x from translation %#x", pc, e.curTrans.HostEntry)
+		return false
+	}
+	if info.Retired > 0 {
+		switch e.curTrans.Kind {
+		case KindBB:
+			e.Stats.DynBBM += uint64(info.Retired)
+		default:
+			e.Stats.DynSBM += uint64(info.Retired)
+		}
+	}
+	if info.Dynamic {
+		e.Stats.IndirectDyn++
+	}
+
+	if e.shadow != nil {
+		for i := 0; i < info.Retired; i++ {
+			if _, err := e.shadow.Step(); err != nil {
+				e.fail("tol: shadow emulator: %v", err)
+				return false
+			}
+		}
+		target := info.GuestTarget
+		if info.Dynamic {
+			target = e.CPU.R[sc0]
+		}
+		got := e.stateFromCPU(target)
+		e.Stats.CosimChecks++
+		if d := got.Diff(&e.shadow.State); d != "" {
+			e.fail("tol: cosim divergence at %s exit of %s %#x (host pc %#x): %s",
+				info.Reason, e.curTrans.Kind, e.curTrans.GuestEntry, pc, d)
+			return false
+		}
+	}
+	return true
+}
+
+// handleExit services a transition into TOL from the exit at pc.
+func (e *Engine) handleExit(pc uint32) {
+	info := e.curTrans.Exits[pc]
+	if info == nil {
+		e.fail("tol: unknown TOL transition at %#x", pc)
+		return
+	}
+	if !e.accountExit(pc) {
+		return
+	}
+	e.Stats.Transitions++
+	e.cost.Transition(pc)
+	e.inTranslated = false
+
+	switch info.Reason {
+	case ExitHalt:
+		e.gs = e.stateFromCPU(info.GuestTarget)
+		e.halted = true
+
+	case ExitPromote:
+		e.handlePromote(info)
+
+	case ExitIndirect:
+		e.handleIndirect()
+
+	default: // static targets: taken/fallthrough/self-loop
+		e.handleStaticExit(pc, info)
+	}
+}
+
+// handlePromote services a BBM block whose counter crossed BB/SBth.
+func (e *Engine) handlePromote(info *ExitInfo) {
+	seed := info.GuestTarget
+	bbTrans := e.curTrans
+	sb := e.promoted[seed]
+	if sb == nil {
+		if !e.Cfg.EnableSBM {
+			// SBM disabled: reset the counter and continue in BBM.
+			e.Prof.Reset(seed)
+			e.resumeAt(bbTrans.HostEntry)
+			return
+		}
+		sb = e.buildSB(seed)
+		if sb == nil {
+			return
+		}
+		e.promoted[seed] = sb
+		// Redirect the BBM block to the superblock: patch its first
+		// instruction and register a zero-retire exit on it.
+		if err := e.CC.Patch(bbTrans.HostEntry, sb.HostEntry); err != nil {
+			e.fail("tol: promote patch: %v", err)
+			return
+		}
+		bbTrans.Exits[bbTrans.HostEntry] = &ExitInfo{
+			Reason: ExitTaken, Retired: 0, GuestTarget: seed, Chained: true,
+		}
+		e.Stats.Chains++
+		e.cost.Chain(bbTrans.HostEntry)
+	}
+	e.resumeAt(sb.HostEntry)
+}
+
+// handleIndirect services an IBTC miss: the guest target is in the
+// scratch register per the translation ABI.
+func (e *Engine) handleIndirect() {
+	target := e.CPU.R[sc0]
+	entry, ok, probes := e.TT.Lookup(target)
+	e.Stats.Lookups++
+	e.Stats.LookupProbes += uint64(len(probes))
+	e.cost.Lookup(probes, ok)
+	if !ok {
+		cnt := e.Prof.Bump(target)
+		e.cost.IMProfile(e.Prof.SlotAddr(target), probes[0])
+		if int(cnt) > e.Cfg.BBThreshold {
+			if tr := e.translateBB(target); tr != nil {
+				entry, ok = tr.HostEntry, true
+			}
+		}
+	}
+	if !ok {
+		// Fall back to interpretation at the target.
+		e.gs = e.stateFromCPU(target)
+		return
+	}
+	if e.Cfg.EnableIBTC {
+		e.IB.Fill(target, entry)
+		e.Stats.IBTCFills++
+		e.cost.IBTCFill(target)
+	}
+	e.resumeAt(entry)
+}
+
+// handleStaticExit services a block ending at a statically known guest
+// target: find or create the target translation, chain the exit, and
+// resume; or fall back to IM below the threshold.
+func (e *Engine) handleStaticExit(pc uint32, info *ExitInfo) {
+	target := info.GuestTarget
+	entry, ok, probes := e.TT.Lookup(target)
+	e.Stats.Lookups++
+	e.Stats.LookupProbes += uint64(len(probes))
+	e.cost.Lookup(probes, ok)
+	if !ok {
+		cnt := e.Prof.Bump(target)
+		e.cost.IMProfile(e.Prof.SlotAddr(target), probes[0])
+		if int(cnt) > e.Cfg.BBThreshold {
+			if tr := e.translateBB(target); tr != nil {
+				entry, ok = tr.HostEntry, true
+			}
+		}
+	}
+	if !ok {
+		e.gs = e.stateFromCPU(target)
+		return
+	}
+	if e.Cfg.EnableChaining && !info.Chained {
+		if err := e.CC.Patch(pc, entry); err != nil {
+			e.fail("tol: chain: %v", err)
+			return
+		}
+		info.Chained = true
+		e.Stats.Chains++
+		e.cost.Chain(pc)
+	}
+	e.resumeAt(entry)
+}
+
+// resumeAt re-enters translated execution at a translation entry. The
+// guest state is already in the CPU registers (it never left them
+// while TOL ran).
+func (e *Engine) resumeAt(hostEntry uint32) {
+	tr := e.CC.EntryAt(hostEntry)
+	if tr == nil {
+		e.fail("tol: resume at %#x: no translation", hostEntry)
+		return
+	}
+	e.cost.ResumeJump(hostEntry)
+	e.curTrans = tr
+	e.CPU.PC = hostEntry
+	e.inTranslated = true
+}

@@ -1,0 +1,56 @@
+package tol
+
+import "repro/internal/mem"
+
+// IBTC is the Indirect Branch Translation Cache: a direct-mapped table
+// of (guest target, host entry) pairs probed inline by translated code.
+// Because the probe sequence is real host code, the table contents must
+// live in simulated host memory; this type wraps the raw memory with
+// typed accessors for the TOL side (fills and invalidations).
+//
+// The inline probe costs ~10 host instructions on a hit; a miss
+// transitions to TOL for a code cache lookup and an IBTC update —
+// "still, the overhead is in the order of tens of RISC instructions"
+// as the paper puts it.
+type IBTC struct {
+	m     mem.Memory
+	Fills uint64
+	Hits  uint64 // counted by the engine at probe sites
+	Miss  uint64
+}
+
+// NewIBTC wraps host memory with IBTC accessors. Entries start zeroed
+// (tag 0 never matches a real guest target because guest code is
+// loaded well above address 0).
+func NewIBTC(m mem.Memory) *IBTC {
+	return &IBTC{m: m}
+}
+
+// slotFor returns the IBTC slot index of a guest target.
+func ibtcSlotFor(target uint32) uint32 {
+	return (target >> 2) & ibtcMask
+}
+
+// Fill installs the (guest target → host entry) pair.
+func (c *IBTC) Fill(target, hostEntry uint32) {
+	slot := ibtcSlotFor(target)
+	addr := ibtcSlotAddr(slot)
+	c.m.Write32(addr, target)
+	c.m.Write32(addr+4, hostEntry)
+	c.Fills++
+}
+
+// Peek reads the entry that a probe of target would see.
+func (c *IBTC) Peek(target uint32) (tag, hostEntry uint32) {
+	addr := ibtcSlotAddr(ibtcSlotFor(target))
+	return c.m.Read32(addr), c.m.Read32(addr + 4)
+}
+
+// Invalidate clears the slot holding target, if it matches.
+func (c *IBTC) Invalidate(target uint32) {
+	addr := ibtcSlotAddr(ibtcSlotFor(target))
+	if c.m.Read32(addr) == target {
+		c.m.Write32(addr, 0)
+		c.m.Write32(addr+4, 0)
+	}
+}

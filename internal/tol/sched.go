@@ -1,0 +1,217 @@
+package tol
+
+import "repro/internal/host"
+
+// Instruction scheduling: a list scheduler run over the straight-line
+// regions of a superblock's emitted host code (pass 4 of SBM). It
+// reorders independent instructions to hide load and multi-cycle
+// execution latencies on the 2-wide in-order host, honoring all
+// register (RAW/WAR/WAW) and memory dependencies. Branch instructions
+// are region boundaries and never move, so branch offsets, exit
+// metadata indices and label targets — all of which sit on or after
+// branches — remain valid.
+
+// schedLoadLatency is the assumed load-to-use latency (L1 hit).
+const schedLoadLatency = 2
+
+// scheduleCode schedules every straight-line region of e.code in
+// place, returning the number of instruction visits (for the cost
+// model).
+func scheduleCode(e *emitter) int {
+	visits := 0
+	n := len(e.code)
+	start := 0
+	for i := 0; i < n; i++ {
+		if e.code[i].IsBranch() {
+			visits += scheduleRegion(e.code[start:i])
+			start = i + 1
+		}
+	}
+	visits += scheduleRegion(e.code[start:n])
+	return visits
+}
+
+// hostOperands extracts the scoreboard operands of a host instruction
+// in a unified namespace (int 0..63, FP 64..95, -1 absent).
+func hostOperands(in *host.Inst) (dst, s1, s2 int) {
+	dst, s1, s2 = -1, -1, -1
+	ir := func(r host.Reg) int {
+		if r == host.RZero {
+			return -1
+		}
+		return int(r)
+	}
+	fr := func(r host.Reg) int { return 64 + int(r) }
+	switch in.Op {
+	case host.Nop, host.Halt:
+	case host.Lui:
+		dst = ir(in.Rd)
+	case host.Ori, host.Addi, host.Andi, host.Xori, host.Slli, host.Srli,
+		host.Srai, host.Slti, host.Sltiu:
+		dst, s1 = ir(in.Rd), ir(in.Rs1)
+	case host.Add, host.Sub, host.And, host.Or, host.Xor, host.Sll,
+		host.Srl, host.Sra, host.Mul, host.Div, host.Slt, host.Sltu:
+		dst, s1, s2 = ir(in.Rd), ir(in.Rs1), ir(in.Rs2)
+	case host.Ld:
+		dst, s1 = ir(in.Rd), ir(in.Rs1)
+	case host.St:
+		s1, s2 = ir(in.Rs1), ir(in.Rs2)
+	case host.Jal:
+		dst = ir(in.Rd)
+	case host.Jalr:
+		dst, s1 = ir(in.Rd), ir(in.Rs1)
+	case host.Beq, host.Bne, host.Blt, host.Bge, host.Bltu, host.Bgeu:
+		s1, s2 = ir(in.Rs1), ir(in.Rs2)
+	case host.FAdd, host.FSub, host.FMul, host.FDiv:
+		dst, s1, s2 = fr(in.Rd), fr(in.Rs1), fr(in.Rs2)
+	case host.FEq, host.FLt:
+		dst, s1, s2 = ir(in.Rd), fr(in.Rs1), fr(in.Rs2)
+	case host.FMov:
+		dst, s1 = fr(in.Rd), fr(in.Rs1)
+	case host.FLd:
+		dst, s1 = fr(in.Rd), ir(in.Rs1)
+	case host.FSt:
+		s1, s2 = ir(in.Rs1), fr(in.Rs2)
+	case host.FCvtIF:
+		dst, s1 = fr(in.Rd), ir(in.Rs1)
+	case host.FCvtFI:
+		dst, s1 = ir(in.Rd), fr(in.Rs1)
+	}
+	return dst, s1, s2
+}
+
+func instLatency(in *host.Inst) int {
+	if in.IsLoad() {
+		return schedLoadLatency
+	}
+	return in.Class().Latency()
+}
+
+// scheduleRegion list-schedules one straight-line region in place.
+func scheduleRegion(code []host.Inst) int {
+	n := len(code)
+	if n < 3 {
+		return n
+	}
+
+	// Build the dependency DAG.
+	succs := make([][]int, n)
+	npreds := make([]int, n)
+	addEdge := func(from, to int) {
+		if from == to {
+			return
+		}
+		for _, s := range succs[from] {
+			if s == to {
+				return
+			}
+		}
+		succs[from] = append(succs[from], to)
+		npreds[to]++
+	}
+
+	lastWriter := map[int]int{} // reg -> inst index
+	readers := map[int][]int{}  // reg -> inst indices since last write
+	lastStore := -1
+	var loadsSinceStore []int
+
+	for i := 0; i < n; i++ {
+		in := &code[i]
+		dst, s1, s2 := hostOperands(in)
+		for _, s := range []int{s1, s2} {
+			if s < 0 {
+				continue
+			}
+			if w, ok := lastWriter[s]; ok {
+				addEdge(w, i) // RAW
+			}
+			readers[s] = append(readers[s], i)
+		}
+		if dst >= 0 {
+			if w, ok := lastWriter[dst]; ok {
+				addEdge(w, i) // WAW
+			}
+			for _, r := range readers[dst] {
+				addEdge(r, i) // WAR
+			}
+			lastWriter[dst] = i
+			readers[dst] = nil
+		}
+		if in.IsLoad() {
+			if lastStore >= 0 {
+				addEdge(lastStore, i)
+			}
+			loadsSinceStore = append(loadsSinceStore, i)
+		}
+		if in.IsStore() {
+			if lastStore >= 0 {
+				addEdge(lastStore, i)
+			}
+			for _, l := range loadsSinceStore {
+				addEdge(l, i)
+			}
+			lastStore = i
+			loadsSinceStore = loadsSinceStore[:0]
+		}
+	}
+
+	// Priority: critical-path length to region end.
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		p := instLatency(&code[i])
+		for _, s := range succs[i] {
+			if prio[s]+instLatency(&code[i]) > p {
+				p = prio[s] + instLatency(&code[i])
+			}
+		}
+		prio[i] = p
+	}
+
+	// Greedy list scheduling, 2-wide, latency-aware.
+	ready := make([]int, 0, n)
+	readyAt := make([]int, n)
+	for i := 0; i < n; i++ {
+		if npreds[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	out := make([]host.Inst, 0, n)
+	cycle := 0
+	scheduled := 0
+	for scheduled < n {
+		issued := 0
+		for issued < 2 {
+			best := -1
+			for k, i := range ready {
+				if readyAt[i] > cycle {
+					continue
+				}
+				if best < 0 || prio[i] > prio[ready[best]] ||
+					(prio[i] == prio[ready[best]] && i < ready[best]) {
+					best = k
+				}
+			}
+			if best < 0 {
+				break
+			}
+			i := ready[best]
+			ready = append(ready[:best], ready[best+1:]...)
+			out = append(out, code[i])
+			scheduled++
+			issued++
+			done := cycle + instLatency(&code[i])
+			for _, s := range succs[i] {
+				npreds[s]--
+				if readyAt[s] < done {
+					readyAt[s] = done
+				}
+				if npreds[s] == 0 {
+					ready = append(ready, s)
+				}
+			}
+		}
+		cycle++
+	}
+	copy(code, out)
+	return n
+}

@@ -1,0 +1,82 @@
+package tol
+
+// Mode identifies the TOL execution mode that executed (or owns) a
+// guest instruction, for the code-distribution accounting of Figure 5.
+type Mode uint8
+
+// Modes, ordered so that a higher value means a more optimized tier.
+const (
+	ModeNone Mode = iota
+	ModeIM
+	ModeBBM
+	ModeSBM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeIM:
+		return "IM"
+	case ModeBBM:
+		return "BBM"
+	case ModeSBM:
+		return "SBM"
+	}
+	return "none"
+}
+
+// Stats aggregates TOL-level statistics over a run.
+type Stats struct {
+	// Dynamic guest instructions executed, per mode (Figure 5b).
+	DynIM  uint64
+	DynBBM uint64
+	DynSBM uint64
+
+	// staticMode maps each executed static guest instruction to the
+	// highest mode that ever owned it (Figure 5a).
+	staticMode map[uint32]Mode
+
+	// Activity counters.
+	BBTranslated   int
+	SBCreated      int // "SBM invocations" in Figure 6
+	Chains         uint64
+	IBTCFills      uint64
+	IndirectDyn    uint64 // dynamic guest indirect branches
+	Lookups        uint64 // code cache lookups performed by TOL
+	LookupProbes   uint64 // translation-table slots probed
+	Transitions    uint64 // translated-code-to-TOL transitions
+	CosimChecks    uint64
+	InterpBranches uint64
+}
+
+// DynTotal returns all guest instructions retired by the co-design
+// component.
+func (s *Stats) DynTotal() uint64 { return s.DynIM + s.DynBBM + s.DynSBM }
+
+func (s *Stats) markStatic(pc uint32, m Mode) {
+	if s.staticMode == nil {
+		s.staticMode = make(map[uint32]Mode)
+	}
+	if s.staticMode[pc] < m {
+		s.staticMode[pc] = m
+	}
+}
+
+// StaticCounts returns the number of executed static guest
+// instructions whose highest mode is IM, BBM and SBM respectively.
+func (s *Stats) StaticCounts() (im, bbm, sbm int) {
+	for _, m := range s.staticMode {
+		switch m {
+		case ModeIM:
+			im++
+		case ModeBBM:
+			bbm++
+		case ModeSBM:
+			sbm++
+		}
+	}
+	return
+}
+
+// StaticTotal returns the number of distinct executed static guest
+// instructions.
+func (s *Stats) StaticTotal() int { return len(s.staticMode) }

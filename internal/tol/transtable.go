@@ -1,0 +1,74 @@
+package tol
+
+import "fmt"
+
+// TransTable maps guest instruction pointers to code-cache entry
+// points. It is an open-addressing hash table with linear probing whose
+// slot addresses are modeled in the host address space: every probe
+// performed here is also emitted by the cost model as loads at the
+// corresponding simulated addresses, so the table's cache behaviour is
+// real. The table mirrors the paper's description of the code cache
+// lookup as "a table that maps x86 instruction pointers to the position
+// in the code cache where the translation is stored".
+type TransTable struct {
+	keys [transTableEntries]uint32 // guest IP + 1 (0 = empty)
+	vals [transTableEntries]uint32 // host entry PC
+	used int
+
+	// probeBuf records the slot indices touched by the last operation,
+	// consumed by the cost model.
+	probeBuf []uint32
+}
+
+// NewTransTable returns an empty translation table.
+func NewTransTable() *TransTable {
+	return &TransTable{probeBuf: make([]uint32, 0, 16)}
+}
+
+// Lookup finds the translation entry for guest address g. The returned
+// probe slice lists the table slots touched (valid until the next
+// operation).
+func (t *TransTable) Lookup(g uint32) (hostEntry uint32, ok bool, probes []uint32) {
+	t.probeBuf = t.probeBuf[:0]
+	idx := hashGuest(g) & transTableMask
+	for {
+		t.probeBuf = append(t.probeBuf, idx)
+		k := t.keys[idx]
+		if k == 0 {
+			return 0, false, t.probeBuf
+		}
+		if k == g+1 {
+			return t.vals[idx], true, t.probeBuf
+		}
+		idx = (idx + 1) & transTableMask
+		if len(t.probeBuf) > transTableEntries {
+			panic("tol: translation table full loop")
+		}
+	}
+}
+
+// Insert adds or replaces the mapping for guest address g. The probe
+// slice lists slots touched.
+func (t *TransTable) Insert(g, hostEntry uint32) (probes []uint32) {
+	t.probeBuf = t.probeBuf[:0]
+	if t.used >= transTableEntries*3/4 {
+		panic(fmt.Sprintf("tol: translation table over capacity (%d entries)", t.used))
+	}
+	idx := hashGuest(g) & transTableMask
+	for {
+		t.probeBuf = append(t.probeBuf, idx)
+		k := t.keys[idx]
+		if k == 0 || k == g+1 {
+			if k == 0 {
+				t.used++
+			}
+			t.keys[idx] = g + 1
+			t.vals[idx] = hostEntry
+			return t.probeBuf
+		}
+		idx = (idx + 1) & transTableMask
+	}
+}
+
+// Len returns the number of live entries.
+func (t *TransTable) Len() int { return t.used }

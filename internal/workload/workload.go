@@ -1,0 +1,382 @@
+// Package workload generates the synthetic guest benchmarks used to
+// characterize TOL. Real SPEC CPU2006 / Mediabench / Physicsbench x86
+// binaries are not available to this reproduction (see DESIGN.md), so
+// each benchmark is synthesized from the structural characteristics the
+// paper identifies as the drivers of every result: static code size,
+// dynamic/static instruction ratio (and its closeness to the promotion
+// threshold), indirect-branch density, instruction mix (INT vs FP),
+// call behaviour, and memory footprint.
+//
+// A generated benchmark has four kinds of code:
+//
+//   - cold blocks: executed once (initialization) — they stay in IM;
+//   - warm blocks: executed a handful of times around IM/BBth — they
+//     reach BBM at most;
+//   - hot kernels: loops executed far beyond BB/SBth — they are the
+//     code SBM optimizes;
+//   - a dispatcher: a jump-table loop generating indirect branches at
+//     a controlled rate, plus calls/returns.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/guest"
+	"repro/internal/mem"
+)
+
+// Suite labels mirror the paper's benchmark suites.
+type Suite uint8
+
+// Suites.
+const (
+	SPECInt Suite = iota
+	SPECFP
+	Physics
+	Media
+)
+
+var suiteNames = [...]string{"SPEC-INT", "SPEC-FP", "Physicsbench", "Mediabench"}
+
+func (s Suite) String() string {
+	if int(s) < len(suiteNames) {
+		return suiteNames[s]
+	}
+	return "suite?"
+}
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	Name  string
+	Suite Suite
+	Seed  int64
+
+	// Hot kernels (SBM-bound code).
+	HotKernels int // number of distinct hot loops
+	KernelLen  int // straight-line guest instructions per kernel body
+	KernelIter int // loop iterations per kernel invocation
+
+	// Outer structure.
+	OuterIters int // repetitions of the whole phase sequence
+
+	// Cold and warm code (IM / BBM-bound).
+	ColdBlocks int // one-shot initialization blocks
+	ColdLen    int
+	WarmBlocks int // blocks executed WarmIters times in total
+	WarmLen    int
+	WarmIters  int // executions of the warm region (IM/BBth ballpark keeps it BBM)
+
+	// Indirect control flow.
+	Fanout        int  // jump-table cases in the dispatcher (0 disables)
+	DispatchIters int  // dispatcher iterations per outer iteration
+	UseCalls      bool // hot kernels invoked via call/ret
+	CaseCalls     bool // dispatcher cases call a helper (adds one
+	// distinct return target per case, widening the indirect-target set)
+
+	// Instruction mix and memory behaviour of kernels.
+	FPFrac     float64 // fraction of FP operations in kernel bodies
+	MemFrac    float64 // fraction of memory operations in kernel bodies
+	BranchFrac float64 // fraction of short forward conditional branches
+	// Footprint is the data working set in bytes (power of two).
+	Footprint int
+	// Stride is the access stride in bytes within the working set.
+	Stride int
+	// Irregular makes kernel data accesses hash-indexed instead of
+	// strided (pointer-chasing-like), defeating the stride prefetcher —
+	// the access behaviour of perlbench/mcf-class applications.
+	Irregular bool
+}
+
+// Validate checks spec consistency.
+func (s *Spec) Validate() error {
+	if s.Footprint != 0 && s.Footprint&(s.Footprint-1) != 0 {
+		return fmt.Errorf("workload %s: footprint %d not a power of two", s.Name, s.Footprint)
+	}
+	if s.Fanout > 64 {
+		return fmt.Errorf("workload %s: fanout %d > 64", s.Name, s.Fanout)
+	}
+	if s.Stride != 0 && s.Stride&(s.Stride-1) != 0 {
+		return fmt.Errorf("workload %s: stride %d not a power of two", s.Name, s.Stride)
+	}
+	return nil
+}
+
+func log2i(v int32) int32 {
+	n := int32(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Scale returns a copy with the dynamic-size knobs multiplied by f,
+// used to grow or shrink runs without changing their character.
+func (s Spec) Scale(f float64) Spec {
+	mul := func(v int) int {
+		n := int(float64(v) * f)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	s.OuterIters = mul(s.OuterIters)
+	return s
+}
+
+// Build synthesizes the guest program.
+func (s Spec) Build() (*guest.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(s.Seed))
+	b := guest.NewBuilder()
+
+	// Register plan (callee-clobber conventions are moot here):
+	//   EBP: data base pointer (never clobbered)
+	//   EDX: outer loop counter
+	//   ECX: inner loop counter (kernels, dispatcher)
+	//   ESI: rotating data index
+	//   EDI: dispatcher case index / accumulator
+	//   EAX, EBX: scratch for generated bodies
+	b.Label("start")
+	b.MovRI(guest.EBP, int32(mem.GuestDataBase))
+	b.MovRI(guest.ESI, 0)
+	b.MovRI(guest.EDI, 0)
+	b.MovRI(guest.EAX, int32(r.Uint32()))
+	b.MovRI(guest.EBX, int32(r.Uint32()))
+
+	// Cold one-shot initialization blocks, separated by jumps so each
+	// is a distinct basic block in IM.
+	for c := 0; c < s.ColdBlocks; c++ {
+		s.emitBody(b, r, s.ColdLen, 0.0, 0.3)
+		b.Jmp(fmt.Sprintf("cold%d", c))
+		b.Label(fmt.Sprintf("cold%d", c))
+	}
+
+	// Warm-region counter in memory (so no register is consumed).
+	warmCountAddr := int32(s.Footprint + 64)
+	b.MovRI(guest.EAX, int32(s.WarmIters))
+	b.Store(guest.EBP, warmCountAddr, guest.EAX)
+
+	b.MovRI(guest.EDX, int32(s.OuterIters))
+	b.Label("outer")
+
+	// Hot kernels.
+	for k := 0; k < s.HotKernels; k++ {
+		if s.UseCalls {
+			b.Call(fmt.Sprintf("kernel%d", k))
+		} else {
+			s.emitKernelInline(b, r, k)
+		}
+	}
+
+	// Warm region: executed only while its countdown is positive.
+	if s.WarmBlocks > 0 {
+		b.Load(guest.EAX, guest.EBP, warmCountAddr)
+		b.CmpRI(guest.EAX, 0)
+		b.Jcc(guest.CondLE, "warmskip")
+		b.Dec(guest.EAX)
+		b.Store(guest.EBP, warmCountAddr, guest.EAX)
+		for w := 0; w < s.WarmBlocks; w++ {
+			s.emitBody(b, r, s.WarmLen, s.FPFrac/2, 0.3)
+			b.Jmp(fmt.Sprintf("warm%d", w))
+			b.Label(fmt.Sprintf("warm%d", w))
+		}
+		b.Label("warmskip")
+	}
+
+	// Dispatcher: indirect jumps through a jump table.
+	if s.Fanout > 0 && s.DispatchIters > 0 {
+		b.MovRI(guest.ECX, int32(s.DispatchIters))
+		b.Label("dispatch")
+		b.MovRI(guest.EAX, int32(mem.GuestTableBase))
+		b.LoadIdx(guest.EAX, guest.EAX, guest.EDI, 4, 0)
+		b.JmpInd(guest.EAX)
+		for c := 0; c < s.Fanout; c++ {
+			b.Label(fmt.Sprintf("case%d", c))
+			s.emitBody(b, r, 4+c%5, 0, 0.25)
+			if s.CaseCalls {
+				b.Call("casehelper")
+			}
+			b.Jmp("dispjoin")
+		}
+		b.Label("dispjoin")
+		b.Inc(guest.EDI)
+		b.CmpRI(guest.EDI, int32(s.Fanout))
+		b.Jcc(guest.CondL, "dispnowrap")
+		b.MovRI(guest.EDI, 0)
+		b.Label("dispnowrap")
+		b.Dec(guest.ECX)
+		b.CmpRI(guest.ECX, 0)
+		b.Jcc(guest.CondG, "dispatch")
+	}
+
+	b.Dec(guest.EDX)
+	b.CmpRI(guest.EDX, 0)
+	b.Jcc(guest.CondG, "outer")
+	b.Halt()
+
+	// Kernel bodies as functions.
+	if s.UseCalls {
+		for k := 0; k < s.HotKernels; k++ {
+			b.Label(fmt.Sprintf("kernel%d", k))
+			s.emitKernelBody(b, r, k)
+			b.Ret()
+		}
+	}
+	if s.Fanout > 0 && s.CaseCalls {
+		b.Label("casehelper")
+		s.emitBody(b, r, 5, 0, 0.3)
+		b.Ret()
+	}
+
+	// Jump table data.
+	if s.Fanout > 0 {
+		p, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		words := make([]uint32, s.Fanout)
+		for c := 0; c < s.Fanout; c++ {
+			a, ok := b.AddrOf(fmt.Sprintf("case%d", c))
+			if !ok {
+				return nil, fmt.Errorf("workload %s: case label missing", s.Name)
+			}
+			words[c] = a
+		}
+		raw := make([]byte, 4*len(words))
+		for i, w := range words {
+			raw[4*i+0] = byte(w)
+			raw[4*i+1] = byte(w >> 8)
+			raw[4*i+2] = byte(w >> 16)
+			raw[4*i+3] = byte(w >> 24)
+		}
+		p.Data = append(p.Data, guest.DataSeg{Addr: mem.GuestTableBase, Bytes: raw})
+		return p, nil
+	}
+	return b.Build()
+}
+
+// emitKernelInline emits kernel k as an inline loop.
+func (s Spec) emitKernelInline(b *guest.Builder, r *rand.Rand, k int) {
+	b.MovRI(guest.ECX, int32(s.KernelIter))
+	b.Label(fmt.Sprintf("kloop%d", k))
+	s.emitBody(b, r, s.KernelLen, s.FPFrac, s.MemFrac)
+	b.Inc(guest.ESI)
+	b.Dec(guest.ECX)
+	b.CmpRI(guest.ECX, 0)
+	b.Jcc(guest.CondG, fmt.Sprintf("kloop%d", k))
+}
+
+// emitKernelBody emits kernel k's loop for the function form.
+func (s Spec) emitKernelBody(b *guest.Builder, r *rand.Rand, k int) {
+	b.MovRI(guest.ECX, int32(s.KernelIter))
+	b.Label(fmt.Sprintf("kbody%d", k))
+	s.emitBody(b, r, s.KernelLen, s.FPFrac, s.MemFrac)
+	b.Inc(guest.ESI)
+	b.Dec(guest.ECX)
+	b.CmpRI(guest.ECX, 0)
+	b.Jcc(guest.CondG, fmt.Sprintf("kbody%d", k))
+}
+
+// emitBody emits n mostly-straight-line instructions mixing integer
+// ALU, FP and memory operations, with occasional short forward
+// conditional branches (BranchFrac) that split the code into several
+// basic blocks, as compiler output does. It uses only EAX/EBX as
+// scratch and addresses data via EBP+masked(ESI), so control registers
+// survive.
+func (s Spec) emitBody(b *guest.Builder, r *rand.Rand, n int, fpFrac, memFrac float64) {
+	brFrac := s.BranchFrac
+	mask := int32(1024 - 1)
+	if s.Footprint > 0 {
+		mask = int32(s.Footprint - 1)
+	}
+	stride := int32(4)
+	if s.Stride != 0 {
+		stride = int32(s.Stride)
+	}
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		switch {
+		case x < brFrac:
+			// Short forward skip: cmp; jcc over two instructions. The
+			// direction depends on runtime data, giving the branch
+			// predictor real work.
+			l := fmt.Sprintf("skip_%d", b.InstCount())
+			b.TestRR(guest.EAX, guest.EAX)
+			conds := []guest.Cond{guest.CondE, guest.CondNE, guest.CondS, guest.CondNS}
+			b.Jcc(conds[r.Intn(len(conds))], l)
+			b.AddRI(guest.EBX, int32(r.Intn(64)))
+			b.XorRR(guest.EAX, guest.EBX)
+			b.Label(l)
+			i += 3
+		case x < brFrac+memFrac:
+			if s.Irregular {
+				// Hash-indexed access: EAX = EBP + (h(ESI+k) & mask);
+				// the stride prefetcher cannot cover these.
+				b.Lea(guest.EAX, guest.ESI, int32(r.Intn(1<<20)))
+				b.MovRI(guest.EBX, 0x61c88647) // golden-ratio multiplier
+				b.ImulRR(guest.EAX, guest.EBX)
+				b.Shr(guest.EAX, 8)
+				b.AndRI(guest.EAX, mask&^3)
+				b.AddRR(guest.EAX, guest.EBP)
+				if r.Intn(2) == 0 {
+					b.Load(guest.EBX, guest.EAX, 0)
+				} else {
+					b.MovRI(guest.EBX, int32(r.Uint32()))
+					b.Store(guest.EAX, 0, guest.EBX)
+					i++
+				}
+				i += 6
+			} else {
+				// Masked strided access: EAX = EBP + ((ESI << log2 stride) & mask).
+				b.MovRR(guest.EAX, guest.ESI)
+				b.Shl(guest.EAX, log2i(stride))
+				b.AndRI(guest.EAX, mask&^3)
+				b.AddRR(guest.EAX, guest.EBP)
+				if r.Intn(2) == 0 {
+					b.Load(guest.EBX, guest.EAX, 0)
+				} else {
+					b.Store(guest.EAX, 0, guest.EBX)
+				}
+				i += 4
+			}
+		case x < brFrac+memFrac+fpFrac:
+			f1 := guest.FReg(r.Intn(4))
+			f2 := guest.FReg(r.Intn(4))
+			switch r.Intn(4) {
+			case 0:
+				b.FAdd(f1, f2)
+			case 1:
+				b.FMul(f1, f2)
+			case 2:
+				b.FLoad(f1, guest.EBP, int32(r.Intn(64))*8)
+				i++
+			default:
+				b.FStore(guest.EBP, int32(r.Intn(64))*8, f1)
+				i++
+			}
+		default:
+			switch r.Intn(8) {
+			case 0:
+				b.AddRR(guest.EAX, guest.EBX)
+			case 1:
+				b.SubRI(guest.EBX, int32(r.Intn(100)))
+			case 2:
+				b.XorRR(guest.EAX, guest.EBX)
+			case 3:
+				b.Shl(guest.EAX, int32(1+r.Intn(7)))
+			case 4:
+				b.MovRR(guest.EBX, guest.EAX)
+			case 5:
+				b.AndRI(guest.EAX, int32(r.Uint32()))
+			case 6:
+				b.Inc(guest.EBX)
+			default:
+				b.OrRR(guest.EBX, guest.EAX)
+			}
+		}
+	}
+}
