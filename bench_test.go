@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/darco"
@@ -171,9 +172,7 @@ func BenchmarkFullPipeline(b *testing.B) {
 	p := buildHotLoop(10_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := darco.DefaultConfig()
-		cfg.TOL.Cosim = false
-		res, err := darco.Run(p, cfg)
+		res, err := darco.Run(context.Background(), p, darco.WithCosim(false))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,12 +7,24 @@
 //	darco-figs                  # all figures, full catalog
 //	darco-figs -fig 6           # one figure
 //	darco-figs -scale 2 -csv
+//	darco-figs -jobs 8          # parallel figure regeneration
+//	darco-figs -from a.json,b.json  # reuse darco-suite -json results
+//
+// Simulation goes through a darco.Session worker pool (-jobs); the
+// engine is deterministic, so the regenerated tables are identical for
+// any worker count. -from preloads full results from JSON records
+// emitted by cmd/darco or cmd/darco-suite -json, so figures can be
+// reassembled without re-simulating the preloaded (benchmark, mode)
+// pairs. -json emits the tables themselves as JSON.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/darco"
@@ -24,20 +36,38 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 8, 9, 10, 11, all")
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
 	csv := flag.Bool("csv", false, "emit CSV")
+	jsonOut := flag.Bool("json", false, "emit the tables as JSON")
 	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	benches := flag.String("benchmarks", "", "comma-separated subset of benchmarks")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	from := flag.String("from", "", "comma-separated JSON record files (darco/darco-suite -json output) to reuse instead of simulating")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale
 	opts.Config = darco.DefaultConfig()
 	opts.Config.TOL.Cosim = *cosim
+	opts.Jobs = *jobs
+	opts.Context = ctx
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *from != "" {
+		for _, path := range strings.Split(*from, ",") {
+			recs, err := loadRecords(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "darco-figs:", err)
+				os.Exit(2)
+			}
+			opts.Preload = append(opts.Preload, recs...)
+		}
 	}
 	r, err := experiments.NewRunner(opts)
 	if err != nil {
@@ -45,13 +75,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	var jsonTables []*stats.Table
 	emit := func(t *stats.Table) {
-		if *csv {
+		switch {
+		case *jsonOut:
+			jsonTables = append(jsonTables, t)
+		case *csv:
 			fmt.Print(t.CSV())
-		} else {
+			fmt.Println()
+		default:
 			fmt.Print(t.String())
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
@@ -115,4 +150,28 @@ func main() {
 		emit(ta)
 		emit(tb)
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonTables); err != nil {
+			die(err)
+		}
+	}
+}
+
+// loadRecords reads one []darco.Record file produced by cmd/darco or
+// cmd/darco-suite -json. Records without a full result (summaries only
+// or failures) are dropped by the experiments preloader.
+func loadRecords(path string) ([]darco.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := darco.DecodeRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
 }

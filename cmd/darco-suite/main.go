@@ -4,13 +4,23 @@
 //
 // Usage:
 //
-//	darco-suite [-scale f] [-suite name] [-bench name] [-csv]
+//	darco-suite [-scale f] [-suite name] [-bench name] [-mode m] [-jobs n] [-csv|-json]
+//
+// Benchmarks execute concurrently on a darco.Session worker pool
+// (-jobs); the engine is deterministic, so the table is identical for
+// any worker count. A failing benchmark no longer kills the sweep:
+// the remaining benchmarks still run, the failures are reported in a
+// per-benchmark error summary at the end, and the exit status is
+// non-zero. -json emits an array of darco.Record (full results
+// included), the interchange format cmd/darco-figs -from consumes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/darco"
@@ -23,10 +33,19 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
 	suite := flag.String("suite", "", "restrict to one suite (int, fp, physics, media)")
 	bench := flag.String("bench", "", "restrict to one benchmark (exact name)")
+	modeFlag := flag.String("mode", timing.ModeShared.String(), "timing mode: shared, app-only, tol-only, split")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := flag.Bool("json", false, "emit JSON records (full results) instead of a table")
 	cosim := flag.Bool("cosim", true, "verify execution against the authoritative emulator")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "progress to stderr")
 	flag.Parse()
+
+	mode, err := timing.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darco-suite:", err)
+		os.Exit(2)
+	}
 
 	specs := workload.Catalog()
 	if *suite != "" {
@@ -49,28 +68,49 @@ func main() {
 		}
 		specs = []workload.Spec{s}
 	}
+	for i := range specs {
+		specs[i] = specs[i].Scale(*scale)
+	}
+
+	cfg := darco.DefaultConfig()
+	cfg.TOL.Cosim = *cosim
+	cfg.Mode = mode
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sessOpts := []darco.SessionOption{darco.WithWorkers(*jobs)}
+	if *verbose {
+		sessOpts = append(sessOpts, darco.WithEvents(func(ev darco.Event) {
+			if ev.Kind == darco.EventStarted {
+				fmt.Fprintf(os.Stderr, "running %s...\n", ev.Job)
+			}
+		}))
+	}
+	sess := darco.NewSession(sessOpts...)
+	var sessJobs []darco.Job
+	for _, s := range specs {
+		sessJobs = append(sessJobs, darco.JobForSpec(s, *scale, darco.WithConfig(cfg)))
+	}
+	batch := sess.RunBatch(ctx, sessJobs)
 
 	t := stats.NewTable("DARCO suite summary",
 		"benchmark", "suite", "guest-dyn", "static", "ratio", "cycles", "IPC",
 		"tol%", "im%", "bbm%", "sbm%", "dyn-sbm%", "sbs", "ind/K", "chains", "transitions")
 
-	for _, s := range specs {
-		s = s.Scale(*scale)
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "running %s...\n", s.Name)
+	var records []darco.Record
+	var failures []error
+	for i, br := range batch {
+		s := specs[i]
+		records = append(records, darco.NewRecord(s.Name, s.Suite.String(), *scale, mode, br.Result, br.Err))
+		if br.Err != nil {
+			failures = append(failures, br.Err)
+			continue
 		}
-		p, err := s.Build()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if *jsonOut {
+			continue // the table is never printed on the JSON path
 		}
-		cfg := darco.DefaultConfig()
-		cfg.TOL.Cosim = *cosim
-		res, err := darco.Run(p, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", s.Name, err)
-			os.Exit(1)
-		}
+		res := br.Result
 		dyn := float64(res.GuestDyn())
 		cyc := float64(res.Timing.Cycles)
 		comp := func(c timing.Component) string {
@@ -90,9 +130,25 @@ func main() {
 			fmt.Sprint(res.TOL.Chains),
 			fmt.Sprint(res.TOL.Transitions))
 	}
-	if *csv {
+
+	switch {
+	case *jsonOut:
+		if err := darco.EncodeRecords(os.Stdout, records); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *csv:
 		fmt.Print(t.CSV())
-	} else {
+	default:
 		fmt.Print(t.String())
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d of %d benchmarks failed:\n", len(failures), len(specs))
+		for _, err := range failures {
+			// Session errors already carry the benchmark name.
+			fmt.Fprintf(os.Stderr, "  %v\n", err)
+		}
+		os.Exit(1)
 	}
 }

@@ -1,19 +1,30 @@
-// Command darco runs one benchmark (or a catalog listing) through the
-// full simulation infrastructure and prints the detailed result: the
-// execution-time breakdown, TOL component split, cache/branch
-// statistics and co-design activity counters.
+// Command darco runs one or more benchmarks (or a catalog listing)
+// through the full simulation infrastructure and prints the detailed
+// result: the execution-time breakdown, TOL component split,
+// cache/branch statistics and co-design activity counters.
 //
 // Usage:
 //
 //	darco -bench 400.perlbench [-scale f] [-mode shared|app-only|tol-only|split]
+//	darco -bench 400.perlbench,470.lbm -jobs 4 -json
 //	darco -list
 //	darco -print-config
+//
+// With several comma-separated benchmarks the runs execute
+// concurrently on a darco.Session worker pool (-jobs); the engine is
+// deterministic, so the results are identical to sequential runs.
+// -json emits an array of darco.Record (full results included), the
+// interchange format cmd/darco-figs -from consumes. Interrupting the
+// process (Ctrl-C) cancels in-flight simulations promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"repro/internal/darco"
 	"repro/internal/stats"
@@ -22,14 +33,16 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark name (see -list)")
+	bench := flag.String("bench", "", "comma-separated benchmark names (see -list)")
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
-	mode := flag.String("mode", "shared", "timing mode: shared, app-only, tol-only, split")
+	modeFlag := flag.String("mode", timing.ModeShared.String(), "timing mode: shared, app-only, tol-only, split")
 	list := flag.Bool("list", false, "list catalog benchmarks and exit")
 	printConfig := flag.Bool("print-config", false, "print the Table I host configuration and exit")
 	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
 	sbth := flag.Int("sbth", 0, "override BB/SBth promotion threshold")
 	bbth := flag.Int("bbth", 0, "override IM/BBth promotion threshold")
+	jsonOut := flag.Bool("json", false, "emit results as JSON records instead of tables")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *printConfig {
@@ -47,46 +60,66 @@ func main() {
 		os.Exit(2)
 	}
 
-	spec, err := workload.ByName(*bench)
+	mode, err := timing.ParseMode(*modeFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "darco:", err)
 		os.Exit(2)
-	}
-	spec = spec.Scale(*scale)
-	p, err := spec.Build()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	cfg := darco.DefaultConfig()
 	cfg.TOL.Cosim = *cosim
+	cfg.Mode = mode
 	if *sbth > 0 {
 		cfg.TOL.SBThreshold = *sbth
 	}
 	if *bbth > 0 {
 		cfg.TOL.BBThreshold = *bbth
 	}
-	switch *mode {
-	case "shared":
-		cfg.Mode = timing.ModeShared
-	case "app-only":
-		cfg.Mode = timing.ModeAppOnly
-	case "tol-only":
-		cfg.Mode = timing.ModeTOLOnly
-	case "split":
-		cfg.Mode = timing.ModeSplit
-	default:
-		fmt.Fprintf(os.Stderr, "darco: unknown mode %q\n", *mode)
-		os.Exit(2)
+
+	var specs []workload.Spec
+	for _, name := range strings.Split(*bench, ",") {
+		spec, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = append(specs, spec.Scale(*scale))
 	}
 
-	res, err := darco.Run(p, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sess := darco.NewSession(darco.WithWorkers(*jobs))
+	var sessJobs []darco.Job
+	for _, s := range specs {
+		sessJobs = append(sessJobs, darco.JobForSpec(s, *scale, darco.WithConfig(cfg)))
+	}
+	batch := sess.RunBatch(ctx, sessJobs)
+
+	var records []darco.Record
+	failed := 0
+	for i, br := range batch {
+		spec := specs[i]
+		records = append(records, darco.NewRecord(spec.Name, spec.Suite.String(), *scale, mode, br.Result, br.Err))
+		if br.Err != nil {
+			failed++
+			if !*jsonOut {
+				// Session errors already carry the benchmark name.
+				fmt.Fprintln(os.Stderr, br.Err)
+			}
+		} else if !*jsonOut {
+			report(spec, br.Result)
+		}
+	}
+	if *jsonOut {
+		if err := darco.EncodeRecords(os.Stdout, records); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if failed > 0 {
 		os.Exit(1)
 	}
-	report(spec, res)
 }
 
 func report(spec workload.Spec, res *darco.Result) {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 		}
 		cfg := darco.DefaultConfig()
 		cc.mut(&cfg)
-		res, err := darco.Run(p, cfg)
+		res, err := darco.Run(context.Background(), p, darco.WithConfig(cfg))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,9 +32,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := darco.DefaultConfig()
-		cfg.TOL.EnableIBTC = ibtc
-		res, err := darco.Run(p, cfg)
+		tc := darco.DefaultConfig().TOL
+		tc.EnableIBTC = ibtc
+		res, err := darco.Run(context.Background(), p, darco.WithTOLConfig(tc))
 		if err != nil {
 			log.Fatal(err)
 		}

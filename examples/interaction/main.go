@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,9 +32,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := darco.DefaultConfig()
-	cfg.TOL.Cosim = false // identical streams; timing-only experiment
-	ir, err := darco.RunInteraction(p, cfg)
+	// Identical streams; timing-only experiment, so skip co-simulation.
+	ir, err := darco.RunInteraction(context.Background(), p, darco.WithCosim(false))
 	if err != nil {
 		log.Fatal(err)
 	}

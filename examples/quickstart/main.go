@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,8 +31,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Run it on the co-designed processor.
-	res, err := darco.Run(prog, darco.DefaultConfig())
+	// Run it on the co-designed processor. The context can cancel a
+	// long simulation mid-flight; options tweak the default config.
+	res, err := darco.Run(context.Background(), prog, darco.WithCosim(true))
 	if err != nil {
 		log.Fatal(err)
 	}

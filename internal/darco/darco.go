@@ -5,6 +5,20 @@
 // infrastructure's architecture: the main interface for running
 // experiments.
 //
+// The host-facing API has three pillars:
+//
+//   - Run(ctx, p, opts...): a context-aware single run configured with
+//     functional options (WithMode, WithTOLConfig, WithTiming,
+//     WithMaxCycles, WithCosim, WithProgress). Cancelling ctx aborts
+//     the run promptly from inside the timing simulator's cycle loop.
+//   - Session: a concurrent batch executor with a worker pool and a
+//     config-hash memo cache, for the paper's many-benchmark sweeps
+//     (see session.go). The engine is fully deterministic, so
+//     concurrent Session results are identical to sequential ones.
+//   - JSON-serializable results: Result, Summary and Record marshal to
+//     JSON, making suite output machine-readable (cmd/darco-suite
+//     -json emits Records that cmd/darco-figs -from consumes).
+//
 // Co-simulation against the authoritative guest emulator (the x86
 // component) is performed inside the engine when enabled; the
 // controller additionally exposes isolation runs (ignoring the TOL or
@@ -12,7 +26,10 @@
 package darco
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"repro/internal/guest"
 	"repro/internal/timing"
@@ -20,15 +37,39 @@ import (
 )
 
 // Config selects the TOL policies, the host microarchitecture, and the
-// stream mode of a run.
+// stream mode of a run. It is plain data (JSON-serializable): the
+// Session memo cache keys runs by the hash of this struct, so two runs
+// with equal Configs on the same program are interchangeable.
 type Config struct {
-	TOL    tol.Config
-	Timing timing.Config
-	Mode   timing.Mode
+	TOL    tol.Config    `json:"tol"`
+	Timing timing.Config `json:"timing"`
+	Mode   timing.Mode   `json:"mode"`
 
 	// MaxCycles aborts runaway timing simulations (0 = default guard).
-	MaxCycles uint64
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+
+	// Progress, when non-nil, receives periodic in-run progress
+	// reports. It is observability only — it cannot affect results —
+	// and is excluded from JSON (and therefore from Session cache
+	// keys).
+	Progress ProgressFunc `json:"-"`
+
+	// ProgressEvery is the Progress period in simulated cycles
+	// (0 = the timing simulator's default).
+	ProgressEvery uint64 `json:"-"`
 }
+
+// Progress is one in-run progress report.
+type Progress struct {
+	// Cycles and HostInsts are the simulated cycle count and retired
+	// host instructions at the time of the report.
+	Cycles    uint64
+	HostInsts uint64
+}
+
+// ProgressFunc receives periodic Progress reports from inside the
+// timing simulator's cycle loop.
+type ProgressFunc func(Progress)
 
 // DefaultConfig returns the paper's host configuration with the scaled
 // TOL thresholds of tol.DefaultConfig.
@@ -40,17 +81,22 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result combines the timing and TOL views of one run.
+// defaultMaxCycles guards runaway simulations when Config.MaxCycles is
+// left zero.
+const defaultMaxCycles = 200_000_000_000
+
+// Result combines the timing and TOL views of one run. It marshals to
+// JSON and round-trips exactly.
 type Result struct {
-	Timing *timing.Result
-	TOL    tol.Stats
+	Timing *timing.Result `json:"timing"`
+	TOL    tol.Stats      `json:"tol"`
 
 	// Code cache occupancy at the end of the run.
-	CodeCacheInsts int
-	Translations   int
+	CodeCacheInsts int `json:"code_cache_insts"`
+	Translations   int `json:"translations"`
 
 	// Final guest architectural state.
-	Final guest.State
+	Final guest.State `json:"final"`
 }
 
 // GuestDyn returns the number of guest instructions executed.
@@ -66,16 +112,133 @@ func (r *Result) DynamicStaticRatio() float64 {
 	return float64(r.TOL.DynTotal()) / float64(st)
 }
 
-// Run executes the program to completion under the given configuration.
-func Run(p *guest.Program, cfg Config) (*Result, error) {
+// Summary is the flattened, machine-readable digest of a run: the
+// top-level quantities every figure reads, plus the timing and TOL
+// digests. Unlike Result it contains no enum-indexed arrays or per-PC
+// maps, so it is the natural record for suite-level JSON output.
+type Summary struct {
+	GuestDyn       uint64         `json:"guest_dyn"`
+	GuestStatic    int            `json:"guest_static"`
+	DynStaticRatio float64        `json:"dyn_static_ratio"`
+	Cycles         uint64         `json:"cycles"`
+	IPC            float64        `json:"ipc"`
+	TOLShare       float64        `json:"tol_share"`
+	CodeCacheInsts int            `json:"code_cache_insts"`
+	Translations   int            `json:"translations"`
+	Timing         timing.Summary `json:"timing"`
+	TOL            tol.Summary    `json:"tol"`
+}
+
+// Summary flattens the result into its machine-readable digest.
+func (r *Result) Summary() Summary {
+	return Summary{
+		GuestDyn:       r.GuestDyn(),
+		GuestStatic:    r.TOL.StaticTotal(),
+		DynStaticRatio: r.DynamicStaticRatio(),
+		Cycles:         r.Timing.Cycles,
+		IPC:            r.Timing.IPC(),
+		TOLShare:       r.Timing.TOLShare(),
+		CodeCacheInsts: r.CodeCacheInsts,
+		Translations:   r.Translations,
+		Timing:         r.Timing.Summary(),
+		TOL:            r.TOL.Summary(),
+	}
+}
+
+// Record is the JSON interchange unit of the command-line tools: one
+// benchmark × mode run with its digest and (optionally) the full
+// result. cmd/darco and cmd/darco-suite emit []Record with -json;
+// cmd/darco-figs -from consumes them to regenerate figures without
+// re-simulating.
+type Record struct {
+	Benchmark string  `json:"benchmark"`
+	Suite     string  `json:"suite,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+	Mode      string  `json:"mode"`
+	Summary   Summary `json:"summary"`
+	Result    *Result `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// NewRecord assembles the interchange record for one run outcome: a
+// failure records the error, a success records the digest plus the
+// full result.
+func NewRecord(benchmark, suite string, scale float64, mode timing.Mode, res *Result, err error) Record {
+	rec := Record{
+		Benchmark: benchmark,
+		Suite:     suite,
+		Scale:     scale,
+		Mode:      mode.String(),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	rec.Summary = res.Summary()
+	rec.Result = res
+	return rec
+}
+
+// EncodeRecords writes records as indented JSON — the wire format
+// cmd/darco and cmd/darco-suite emit and cmd/darco-figs -from reads.
+func EncodeRecords(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// DecodeRecords reads a []Record produced by EncodeRecords. Records
+// are returned as stored — failures and summary-only records included;
+// consumers that need full results (e.g. Session preloading) skip
+// records whose Result is nil.
+func DecodeRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Run executes the program to completion under DefaultConfig modified
+// by the given options. Cancelling ctx aborts the simulation promptly
+// (the context is polled inside the timing simulator's cycle loop) and
+// returns ctx.Err().
+func Run(ctx context.Context, p *guest.Program, opts ...Option) (*Result, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.run(ctx, p)
+}
+
+// RunConfig executes the program to completion under an explicit
+// configuration.
+//
+// Deprecated: RunConfig is the pre-context signature kept as a thin
+// shim during the API transition. Use Run with WithConfig (or the
+// individual With* options) instead.
+func RunConfig(p *guest.Program, cfg Config) (*Result, error) {
+	return Run(context.Background(), p, WithConfig(cfg))
+}
+
+// run is the single execution path behind Run, Session and the
+// experiment runners.
+func (cfg Config) run(ctx context.Context, p *guest.Program) (*Result, error) {
 	eng := tol.NewEngine(cfg.TOL, p)
 	sim := timing.NewSimulator(cfg.Timing, cfg.Mode)
 	if cfg.MaxCycles != 0 {
 		sim.MaxCycles = cfg.MaxCycles
 	} else {
-		sim.MaxCycles = 200_000_000_000
+		sim.MaxCycles = defaultMaxCycles
 	}
-	tres, err := sim.Run(eng)
+	if cfg.Progress != nil {
+		fn := cfg.Progress
+		sim.Progress = func(cycles, insts uint64) {
+			fn(Progress{Cycles: cycles, HostInsts: insts})
+		}
+		sim.ProgressEvery = cfg.ProgressEvery
+	}
+	tres, err := sim.RunContext(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -100,12 +263,17 @@ func Run(p *guest.Program, cfg Config) (*Result, error) {
 // engine is fully deterministic, so the co-design behaviour is
 // identical across the runs; only resource sharing differs.
 type InteractionResult struct {
-	Shared *Result
-	Split  *Result
+	Shared *Result `json:"shared"`
+	Split  *Result `json:"split"`
 }
 
 // RunInteraction performs the interaction experiment's two runs.
-func RunInteraction(p *guest.Program, cfg Config) (*InteractionResult, error) {
+// Options apply to both runs; the mode is overridden per leg.
+func RunInteraction(ctx context.Context, p *guest.Program, opts ...Option) (*InteractionResult, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
 	var out InteractionResult
 	for _, m := range []struct {
 		mode timing.Mode
@@ -116,7 +284,7 @@ func RunInteraction(p *guest.Program, cfg Config) (*InteractionResult, error) {
 	} {
 		c := cfg
 		c.Mode = m.mode
-		r, err := Run(p, c)
+		r, err := c.run(ctx, p)
 		if err != nil {
 			return nil, fmt.Errorf("darco: %v run: %w", m.mode, err)
 		}

@@ -1,0 +1,59 @@
+package darco
+
+import (
+	"repro/internal/timing"
+	"repro/internal/tol"
+)
+
+// Option mutates the configuration of a run. Options are applied in
+// order on top of DefaultConfig, so later options win; WithConfig
+// replaces the whole configuration and is therefore usually first.
+type Option func(*Config)
+
+// WithConfig replaces the entire base configuration.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithMode selects the timing-simulator stream mode (shared, app-only,
+// tol-only, split).
+func WithMode(m timing.Mode) Option {
+	return func(c *Config) { c.Mode = m }
+}
+
+// WithTOLConfig replaces the TOL policy configuration (thresholds,
+// feature switches, co-simulation).
+func WithTOLConfig(tc tol.Config) Option {
+	return func(c *Config) { c.TOL = tc }
+}
+
+// WithTiming replaces the host microarchitecture configuration
+// (paper Table I).
+func WithTiming(tc timing.Config) Option {
+	return func(c *Config) { c.Timing = tc }
+}
+
+// WithMaxCycles bounds the timing simulation (0 restores the default
+// runaway guard).
+func WithMaxCycles(n uint64) Option {
+	return func(c *Config) { c.MaxCycles = n }
+}
+
+// WithCosim toggles continuous co-simulation against the authoritative
+// guest emulator.
+func WithCosim(on bool) Option {
+	return func(c *Config) { c.TOL.Cosim = on }
+}
+
+// WithProgress installs a periodic in-run progress callback. The
+// callback is invoked from inside the timing simulator's cycle loop
+// and must not block for long; it cannot affect results.
+func WithProgress(fn ProgressFunc) Option {
+	return func(c *Config) { c.Progress = fn }
+}
+
+// WithProgressInterval sets the WithProgress callback period in
+// simulated cycles (0 = the simulator's default).
+func WithProgressInterval(cycles uint64) Option {
+	return func(c *Config) { c.ProgressEvery = cycles }
+}

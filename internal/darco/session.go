@@ -1,0 +1,344 @@
+package darco
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/guest"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// Job is one unit of batch work: a named, deterministic program
+// factory plus the configuration options of the run. Name identifies
+// the benchmark (it is the display label and the key Preload records
+// match on); Variant distinguishes different programs sharing a Name —
+// typically the workload scale — and participates in the memo-cache
+// key alongside the hash of the resolved Config.
+type Job struct {
+	Name    string
+	Variant string
+	Build   func() (*guest.Program, error)
+	Opts    []Option
+}
+
+// EventKind classifies Session progress events.
+type EventKind uint8
+
+// Event kinds, in the order a job moves through them. EventCached
+// replaces the Started/Done pair when the memo cache already holds the
+// result.
+const (
+	EventQueued   EventKind = iota // job accepted, waiting for a worker
+	EventStarted                   // job running on a worker
+	EventProgress                  // periodic in-run report (Cycles set)
+	EventDone                      // job finished successfully
+	EventFailed                    // job finished with an error
+	EventCached                    // job served from the memo cache
+)
+
+var eventKindNames = [...]string{"queued", "started", "progress", "done", "failed", "cached"}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "event?"
+}
+
+// Event is one per-job progress event streamed by a Session.
+type Event struct {
+	Job    string      `json:"job"`
+	Mode   timing.Mode `json:"mode"`
+	Kind   EventKind   `json:"kind"`
+	Cycles uint64      `json:"cycles,omitempty"` // EventProgress and EventDone
+	Err    error       `json:"-"`                // EventFailed
+}
+
+// SessionOption configures a Session.
+type SessionOption func(*Session)
+
+// WithWorkers sets the worker-pool size (n < 1 selects GOMAXPROCS).
+func WithWorkers(n int) SessionOption {
+	return func(s *Session) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithEvents installs the per-job event stream. Events from concurrent
+// jobs are delivered serially (the callback needs no locking), in an
+// order that depends on scheduling; results never do.
+func WithEvents(fn func(Event)) SessionOption {
+	return func(s *Session) { s.events = fn }
+}
+
+// Session is the concurrent batch executor of the controller: a worker
+// pool that runs many (program, mode, config) jobs, memoizes results
+// under a config-hash cache key, and streams per-job progress events.
+//
+// Both the co-design engine and the timing simulator are fully
+// deterministic and every run is independent, so results obtained
+// through a Session are identical to sequential execution regardless
+// of the worker count — the property the figure-regeneration harness
+// relies on to parallelize the paper's 48-benchmark sweeps.
+type Session struct {
+	workers int
+	events  func(Event)
+
+	sem chan struct{}
+
+	mu      sync.Mutex
+	cache   map[string]*sessionEntry
+	preload map[string]*Result
+
+	evMu sync.Mutex
+}
+
+type sessionEntry struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// NewSession builds a batch executor. With no options it uses
+// GOMAXPROCS workers and streams no events.
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{
+		workers: runtime.GOMAXPROCS(0),
+		cache:   make(map[string]*sessionEntry),
+		preload: make(map[string]*Result),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.sem = make(chan struct{}, s.workers)
+	return s
+}
+
+// Workers returns the worker-pool size.
+func (s *Session) Workers() int { return s.workers }
+
+func (s *Session) emit(ev Event) {
+	if s.events == nil {
+		return
+	}
+	s.evMu.Lock()
+	s.events(ev)
+	s.evMu.Unlock()
+}
+
+// JobForSpec builds the session job for one already-scaled workload
+// spec. It is the single place the Variant cache-key component is
+// derived from the scale factor, so every tool keys identically.
+func JobForSpec(spec workload.Spec, scale float64, opts ...Option) Job {
+	return Job{
+		Name:    spec.Name,
+		Variant: fmt.Sprintf("scale=%g", scale),
+		Build:   spec.Build,
+		Opts:    opts,
+	}
+}
+
+// resolve applies the job's options on top of DefaultConfig.
+func (j *Job) resolve() Config {
+	cfg := DefaultConfig()
+	for _, o := range j.Opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// cacheKey derives the memo key: the job name and variant plus the
+// hash of the JSON form of the resolved config (Progress is excluded
+// via json:"-", so observability hooks never fragment the cache).
+func cacheKey(name, variant string, cfg *Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is plain data; this cannot fail. Degrade to no sharing.
+		return fmt.Sprintf("%s|unhashable|%p", name, cfg)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(variant))
+	h.Write([]byte{0})
+	h.Write(b)
+	return fmt.Sprintf("%s|%016x", name, h.Sum64())
+}
+
+// isCancellation reports whether err came from a cancelled or expired
+// context rather than from the simulation itself.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// preloadKey indexes externally supplied results by (name, mode) only:
+// preloaded Records carry no Config, so the caller vouches that they
+// were produced under the configuration the session would use.
+func preloadKey(name string, mode timing.Mode) string {
+	return name + "\x00" + mode.String()
+}
+
+// Preload seeds the session with an externally obtained result for
+// (name, mode), e.g. one loaded from a cmd/darco-suite -json Record.
+// Subsequent jobs with that name and mode are served from it without
+// simulating.
+func (s *Session) Preload(name string, mode timing.Mode, res *Result) {
+	s.mu.Lock()
+	s.preload[preloadKey(name, mode)] = res
+	s.mu.Unlock()
+}
+
+// Run executes one job through the session, deduplicating it against
+// identical in-flight or completed jobs. The first caller for a cache
+// key runs the job on a worker slot; concurrent callers with the same
+// key block until it completes (or their own ctx is cancelled) and
+// share the result. Context-cancellation errors are not memoized, so
+// a cancelled job can be retried.
+func (s *Session) Run(ctx context.Context, job Job) (*Result, error) {
+	cfg := job.resolve()
+	key := cacheKey(job.Name, job.Variant, &cfg)
+
+	var e *sessionEntry
+	for {
+		s.mu.Lock()
+		if res, ok := s.preload[preloadKey(job.Name, cfg.Mode)]; ok {
+			s.mu.Unlock()
+			s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventCached})
+			return res, nil
+		}
+		prev, inFlight := s.cache[key]
+		if !inFlight {
+			e = &sessionEntry{done: make(chan struct{})}
+			s.cache[key] = e
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		select {
+		case <-prev.done:
+			// A runner whose own context was cancelled publishes its
+			// cancellation and forgets the key; a waiter with a live
+			// context retries instead of inheriting that error.
+			if isCancellation(prev.err) && ctx.Err() == nil {
+				continue
+			}
+			s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventCached})
+			return prev.res, prev.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventQueued})
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.finish(key, e, nil, ctx.Err())
+		return nil, ctx.Err()
+	}
+	s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventStarted})
+
+	res, err := s.execute(ctx, job, cfg)
+	<-s.sem
+
+	s.finish(key, e, res, err)
+	if err != nil {
+		s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventFailed, Err: err})
+		return nil, err
+	}
+	s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventDone, Cycles: res.Timing.Cycles})
+	return res, nil
+}
+
+func (s *Session) execute(ctx context.Context, job Job, cfg Config) (*Result, error) {
+	if job.Build == nil {
+		return nil, fmt.Errorf("darco: job %q has no program factory", job.Name)
+	}
+	p, err := job.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", job.Name, err)
+	}
+	// Chain session progress events onto any caller-installed hook.
+	prev := cfg.Progress
+	cfg.Progress = func(pr Progress) {
+		s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventProgress, Cycles: pr.Cycles})
+		if prev != nil {
+			prev(pr)
+		}
+	}
+	res, err := cfg.run(ctx, p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", job.Name, err)
+	}
+	return res, nil
+}
+
+// finish publishes the outcome to waiters and forgets cancellations so
+// they can be retried.
+func (s *Session) finish(key string, e *sessionEntry, res *Result, err error) {
+	e.res, e.err = res, err
+	if isCancellation(err) {
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
+	}
+	close(e.done)
+}
+
+// BatchResult pairs one batch job with its outcome.
+type BatchResult struct {
+	Job    Job
+	Result *Result
+	Err    error
+}
+
+// RunBatch executes the jobs concurrently (bounded by the worker pool)
+// and returns their outcomes in input order. It never stops early: a
+// failing job does not prevent the others from completing, which is
+// what lets one bad spec report an error without killing a
+// 48-benchmark sweep.
+func (s *Session) RunBatch(ctx context.Context, jobs []Job) []BatchResult {
+	out := make([]BatchResult, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job) {
+			defer wg.Done()
+			res, err := s.Run(ctx, job)
+			out[i] = BatchResult{Job: job, Result: res, Err: err}
+		}(i, job)
+	}
+	wg.Wait()
+	return out
+}
+
+// RunInteraction executes the Figure 10/11 shared+split pair for one
+// job through the session cache, so the shared leg is reused by any
+// other figure needing the same run.
+func (s *Session) RunInteraction(ctx context.Context, job Job) (*InteractionResult, error) {
+	var out InteractionResult
+	for _, leg := range []struct {
+		mode timing.Mode
+		dst  **Result
+	}{
+		{timing.ModeShared, &out.Shared},
+		{timing.ModeSplit, &out.Split},
+	} {
+		j := job
+		j.Opts = append(append([]Option{}, job.Opts...), WithMode(leg.mode))
+		res, err := s.Run(ctx, j)
+		if err != nil {
+			return nil, err
+		}
+		*leg.dst = res
+	}
+	return &out, nil
+}

@@ -1,6 +1,7 @@
 package darco
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/workload"
@@ -16,7 +17,7 @@ func runBench(t *testing.T, name string) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(p, DefaultConfig())
+	res, err := Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,9 +81,8 @@ func TestSmokeInteraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultConfig()
-	cfg.TOL.Cosim = false // timing-only experiment; functional path tested elsewhere
-	ir, err := RunInteraction(p, cfg)
+	// Timing-only experiment; the functional path is tested elsewhere.
+	ir, err := RunInteraction(context.Background(), p, WithCosim(false))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,9 +3,17 @@
 // FigN function produces the table of series the corresponding figure
 // plots. Table I is the timing configuration itself
 // (timing.DefaultConfig) and is printed by cmd/darco -print-config.
+//
+// All simulation goes through a darco.Session: each figure first warms
+// the session by submitting every (benchmark, mode) pair it needs as
+// one concurrent batch (parallel across Options.Jobs workers), then
+// assembles its table sequentially in catalog order from the memoized
+// results. The engine is deterministic and runs are independent, so
+// the regenerated tables are identical for any worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,6 +34,15 @@ type Options struct {
 	Config darco.Config
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
+	// Jobs is the session worker-pool size (0 = GOMAXPROCS). The
+	// regenerated tables are identical for any value.
+	Jobs int
+	// Context cancels in-flight simulations (nil = Background).
+	Context context.Context
+	// Preload seeds the session with previously computed full results
+	// (e.g. loaded from cmd/darco-suite -json output); matching
+	// (benchmark, mode) jobs are served without simulating.
+	Preload []darco.Record
 }
 
 // DefaultOptions returns the standard full-catalog session.
@@ -33,14 +50,13 @@ func DefaultOptions() Options {
 	return Options{Scale: 1.0, Config: darco.DefaultConfig()}
 }
 
-// Runner caches per-benchmark runs so that figures sharing a
-// configuration reuse them.
+// Runner regenerates figures through a shared darco.Session, so runs
+// needed by several figures (or both legs of the interaction pair)
+// simulate exactly once.
 type Runner struct {
-	opts     Options
-	specs    []workload.Spec
-	shared   map[string]*darco.Result
-	tolOnly  map[string]*darco.Result
-	interact map[string]*darco.InteractionResult
+	opts  Options
+	specs []workload.Spec
+	sess  *darco.Session
 }
 
 // NewRunner builds a runner over the selected benchmarks.
@@ -63,22 +79,41 @@ func NewRunner(opts Options) (*Runner, error) {
 	for i := range specs {
 		specs[i] = specs[i].Scale(opts.Scale)
 	}
-	return &Runner{
-		opts:     opts,
-		specs:    specs,
-		shared:   make(map[string]*darco.Result),
-		tolOnly:  make(map[string]*darco.Result),
-		interact: make(map[string]*darco.InteractionResult),
-	}, nil
+	sessOpts := []darco.SessionOption{darco.WithWorkers(opts.Jobs)}
+	if opts.Log != nil {
+		log := opts.Log
+		sessOpts = append(sessOpts, darco.WithEvents(func(ev darco.Event) {
+			if ev.Kind == darco.EventStarted {
+				fmt.Fprintf(log, "run %-22s %s\n", ev.Job, ev.Mode)
+			}
+		}))
+	}
+	sess := darco.NewSession(sessOpts...)
+	for _, rec := range opts.Preload {
+		if rec.Result == nil {
+			continue
+		}
+		if rec.Scale != 0 && rec.Scale != opts.Scale {
+			return nil, fmt.Errorf("experiments: preload record %q was produced at -scale %g, session runs at -scale %g",
+				rec.Benchmark, rec.Scale, opts.Scale)
+		}
+		m, err := timing.ParseMode(rec.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preload record %q: %w", rec.Benchmark, err)
+		}
+		sess.Preload(rec.Benchmark, m, rec.Result)
+	}
+	return &Runner{opts: opts, specs: specs, sess: sess}, nil
 }
 
 // Specs returns the benchmark set of this runner.
 func (r *Runner) Specs() []workload.Spec { return r.specs }
 
-func (r *Runner) logf(format string, args ...any) {
-	if r.opts.Log != nil {
-		fmt.Fprintf(r.opts.Log, format+"\n", args...)
+func (r *Runner) ctx() context.Context {
+	if r.opts.Context != nil {
+		return r.opts.Context
 	}
+	return context.Background()
 }
 
 func (r *Runner) spec(name string) (workload.Spec, error) {
@@ -90,78 +125,60 @@ func (r *Runner) spec(name string) (workload.Spec, error) {
 	return workload.Spec{}, fmt.Errorf("experiments: benchmark %q not in session", name)
 }
 
-// Shared returns (running if needed) the shared-mode result.
-func (r *Runner) Shared(name string) (*darco.Result, error) {
-	if res, ok := r.shared[name]; ok {
-		return res, nil
-	}
+// job builds the session job for one spec × mode.
+func (r *Runner) job(s workload.Spec, mode timing.Mode) darco.Job {
+	cfg := r.opts.Config
+	cfg.Mode = mode
+	return darco.JobForSpec(s, r.opts.Scale, darco.WithConfig(cfg))
+}
+
+// run executes (or recalls) one benchmark under a mode.
+func (r *Runner) run(name string, mode timing.Mode) (*darco.Result, error) {
 	s, err := r.spec(name)
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.Build()
-	if err != nil {
-		return nil, err
+	return r.sess.Run(r.ctx(), r.job(s, mode))
+}
+
+// warm submits every session benchmark under each mode as one
+// concurrent batch and returns the first error in catalog order.
+// Subsequent per-benchmark accessors are cache hits.
+func (r *Runner) warm(modes ...timing.Mode) error {
+	var jobs []darco.Job
+	for _, s := range r.specs {
+		for _, m := range modes {
+			jobs = append(jobs, r.job(s, m))
+		}
 	}
-	r.logf("run %-22s shared", name)
-	cfg := r.opts.Config
-	cfg.Mode = timing.ModeShared
-	res, err := darco.Run(p, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
+	for _, br := range r.sess.RunBatch(r.ctx(), jobs) {
+		if br.Err != nil {
+			return br.Err
+		}
 	}
-	r.shared[name] = res
-	return res, nil
+	return nil
+}
+
+// Shared returns (running if needed) the shared-mode result.
+func (r *Runner) Shared(name string) (*darco.Result, error) {
+	return r.run(name, timing.ModeShared)
 }
 
 // TOLOnly returns (running if needed) the TOL-in-isolation result used
 // by Figure 8.
 func (r *Runner) TOLOnly(name string) (*darco.Result, error) {
-	if res, ok := r.tolOnly[name]; ok {
-		return res, nil
-	}
-	s, err := r.spec(name)
-	if err != nil {
-		return nil, err
-	}
-	p, err := s.Build()
-	if err != nil {
-		return nil, err
-	}
-	r.logf("run %-22s tol-only", name)
-	cfg := r.opts.Config
-	cfg.Mode = timing.ModeTOLOnly
-	res, err := darco.Run(p, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
-	r.tolOnly[name] = res
-	return res, nil
+	return r.run(name, timing.ModeTOLOnly)
 }
 
 // Interaction returns (running if needed) the shared-vs-split pair used
-// by Figures 10 and 11.
+// by Figures 10 and 11. Both legs go through the session cache, so the
+// shared leg is reused by the Figure 5–7/9 accessors and vice versa.
 func (r *Runner) Interaction(name string) (*darco.InteractionResult, error) {
-	if res, ok := r.interact[name]; ok {
-		return res, nil
-	}
 	s, err := r.spec(name)
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.Build()
-	if err != nil {
-		return nil, err
-	}
-	r.logf("run %-22s interaction (shared+split)", name)
-	res, err := darco.RunInteraction(p, r.opts.Config)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
-	r.interact[name] = res
-	// The shared leg doubles as the Shared cache entry.
-	r.shared[name] = res.Shared
-	return res, nil
+	return r.sess.RunInteraction(r.ctx(), r.job(s, timing.ModeShared))
 }
 
 // suiteOrder lists suites in the paper's order.
@@ -180,6 +197,9 @@ func (r *Runner) forEach(fn func(s workload.Spec) error) error {
 // Fig5 regenerates Figure 5: the static (a) and dynamic (b)
 // distribution of guest code across IM, BBM and SBM.
 func (r *Runner) Fig5() (*stats.Table, *stats.Table, error) {
+	if err := r.warm(timing.ModeShared); err != nil {
+		return nil, nil, err
+	}
 	ta := stats.NewTable("Figure 5a: static guest code distribution (%)",
 		"benchmark", "suite", "IM", "BBM", "SBM")
 	tb := stats.NewTable("Figure 5b: dynamic guest code distribution (%)",
@@ -241,6 +261,9 @@ func pct(x int, total float64) float64 {
 // overhead and application, with the dynamic/static instruction ratio
 // and the number of SBM invocations (the log-scale series).
 func (r *Runner) Fig6() (*stats.Table, error) {
+	if err := r.warm(timing.ModeShared); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 6: execution time breakdown (% of cycles) + log-scale series",
 		"benchmark", "suite", "overhead", "application", "dyn/static", "SBM-invocations")
 	type acc struct {
@@ -282,6 +305,9 @@ func (r *Runner) Fig6() (*stats.Table, error) {
 // components (as % of total execution time), plus the dynamic guest
 // indirect-branch count (the log-scale series).
 func (r *Runner) Fig7() (*stats.Table, error) {
+	if err := r.warm(timing.ModeShared); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 7: TOL time by component (% of cycles) + indirect branches",
 		"benchmark", "suite", "tol-other", "IM", "BBM", "SBM", "chaining", "code$-lookup", "indirect-branches")
 	err := r.forEach(func(s workload.Spec) error {
@@ -309,6 +335,9 @@ func (r *Runner) Fig7() (*stats.Table, error) {
 // isolation — IPC, data/instruction cache miss rates, and branch
 // misprediction rate.
 func (r *Runner) Fig8() (*stats.Table, error) {
+	if err := r.warm(timing.ModeTOLOnly); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 8: TOL performance characteristics (TOL executed in isolation)",
 		"benchmark", "suite", "IPC", "D$-miss%", "I$-miss%", "BP-miss%")
 	err := r.forEach(func(s workload.Spec) error {
@@ -349,6 +378,9 @@ func (r *Runner) fig9Rows() []string {
 // the four bubble sources, each divided between TOL and the
 // application, for the outliers and suite averages.
 func (r *Runner) Fig9() (*stats.Table, error) {
+	if err := r.warm(timing.ModeShared); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 9: cycle breakdown (% of cycles), TOL vs application",
 		"case", "app-insts", "tol-insts", "app-sched", "tol-sched",
 		"app-branch", "tol-branch", "app-i$", "tol-i$", "app-d$", "tol-d$")
@@ -401,6 +433,9 @@ func (r *Runner) Fig9() (*stats.Table, error) {
 // Fig10 regenerates Figure 10: relative per-entity execution time with
 // resource interaction versus without.
 func (r *Runner) Fig10() (*stats.Table, error) {
+	if err := r.warm(timing.ModeShared, timing.ModeSplit); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 10: slowdown from TOL/application interaction (w/ vs w/o shared resources)",
 		"case", "application", "TOL")
 	addRow := func(label string, irs []*darco.InteractionResult) {
@@ -442,6 +477,9 @@ func (r *Runner) Fig10() (*stats.Table, error) {
 // for TOL (a) and the application (b) if the interaction were
 // eliminated.
 func (r *Runner) Fig11() (*stats.Table, *stats.Table, error) {
+	if err := r.warm(timing.ModeShared, timing.ModeSplit); err != nil {
+		return nil, nil, err
+	}
 	mk := func(title string) *stats.Table {
 		return stats.NewTable(title, "case", "d$-miss", "i$-miss", "sched", "branch")
 	}

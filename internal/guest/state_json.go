@@ -1,0 +1,40 @@
+package guest
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// stateJSON is the wire form of State. FP registers are encoded as
+// IEEE-754 bit patterns: JSON has no representation for NaN or the
+// infinities, and several FP benchmarks legitimately finish with NaN
+// in a register. The bit-pattern encoding round-trips every value
+// exactly, NaN payloads included.
+type stateJSON struct {
+	Regs      [NumRegs]uint32  `json:"regs"`
+	FRegsBits [NumFRegs]uint64 `json:"fregs_bits"`
+	EIP       uint32           `json:"eip"`
+	Flags     uint32           `json:"flags"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s State) MarshalJSON() ([]byte, error) {
+	w := stateJSON{Regs: s.Regs, EIP: s.EIP, Flags: s.Flags}
+	for i, f := range s.FRegs {
+		w.FRegsBits[i] = math.Float64bits(f)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var w stateJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	s.Regs, s.EIP, s.Flags = w.Regs, w.EIP, w.Flags
+	for i, bits := range w.FRegsBits {
+		s.FRegs[i] = math.Float64frombits(bits)
+	}
+	return nil
+}

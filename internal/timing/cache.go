@@ -51,8 +51,8 @@ type cacheLine struct {
 
 // CacheStats counts accesses and misses, split by owner.
 type CacheStats struct {
-	Accesses [NumOwners]uint64
-	Misses   [NumOwners]uint64
+	Accesses [NumOwners]uint64 `json:"accesses"`
+	Misses   [NumOwners]uint64 `json:"misses"`
 }
 
 // MissRate returns the total miss rate across owners.

@@ -1,0 +1,51 @@
+package timing
+
+import "fmt"
+
+// Mode selects which part of the dynamic stream the simulator models
+// and whether TOL and the application share microarchitectural state.
+//
+// ModeAppOnly/ModeTOLOnly drop the other entity's instructions
+// entirely — the paper's Figure 8 methodology ("we study the execution
+// of TOL in isolation through ignoring in the timing simulator all the
+// instructions that correspond to the emulation of the application").
+//
+// ModeSplit models both streams with identical pipeline dynamics but
+// gives each entity private caches, TLBs, branch predictor and
+// prefetcher: the "interaction is not modeled" configuration of the
+// Figure 10/11 experiments. Comparing per-entity attributed cycles
+// between ModeShared and ModeSplit isolates exactly the resource-
+// sharing (pollution) effect.
+type Mode uint8
+
+// Simulation modes.
+const (
+	ModeShared Mode = iota // both streams, shared structures
+	ModeAppOnly
+	ModeTOLOnly
+	ModeSplit // both streams, per-owner private structures
+	NumModes
+)
+
+var modeNames = [NumModes]string{"shared", "app-only", "tol-only", "split"}
+
+// String returns the canonical spelling of the mode; it round-trips
+// through ParseMode for every valid mode.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return "mode?"
+}
+
+// ParseMode converts the canonical spelling (as produced by
+// Mode.String) back to a Mode. It is the single parser used by all
+// command-line tools.
+func ParseMode(s string) (Mode, error) {
+	for m, name := range modeNames {
+		if s == name {
+			return Mode(m), nil
+		}
+	}
+	return 0, fmt.Errorf("timing: unknown mode %q (want shared, app-only, tol-only or split)", s)
+}

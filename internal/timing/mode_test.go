@@ -1,0 +1,24 @@
+package timing
+
+import "testing"
+
+func TestParseModeRoundTrip(t *testing.T) {
+	for m := Mode(0); m < NumModes; m++ {
+		got, err := ParseMode(m.String())
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", m.String(), err)
+			continue
+		}
+		if got != m {
+			t.Errorf("ParseMode(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+}
+
+func TestParseModeRejectsUnknown(t *testing.T) {
+	for _, s := range []string{"", "Shared", "mode?", "tolonly", "both"} {
+		if m, err := ParseMode(s); err == nil {
+			t.Errorf("ParseMode(%q) = %v, want error", s, m)
+		}
+	}
+}

@@ -1,44 +1,9 @@
 package timing
 
-import "fmt"
-
-// Mode selects which part of the dynamic stream the simulator models
-// and whether TOL and the application share microarchitectural state.
-//
-// ModeAppOnly/ModeTOLOnly drop the other entity's instructions
-// entirely — the paper's Figure 8 methodology ("we study the execution
-// of TOL in isolation through ignoring in the timing simulator all the
-// instructions that correspond to the emulation of the application").
-//
-// ModeSplit models both streams with identical pipeline dynamics but
-// gives each entity private caches, TLBs, branch predictor and
-// prefetcher: the "interaction is not modeled" configuration of the
-// Figure 10/11 experiments. Comparing per-entity attributed cycles
-// between ModeShared and ModeSplit isolates exactly the resource-
-// sharing (pollution) effect.
-type Mode uint8
-
-// Simulation modes.
-const (
-	ModeShared Mode = iota // both streams, shared structures
-	ModeAppOnly
-	ModeTOLOnly
-	ModeSplit // both streams, per-owner private structures
+import (
+	"context"
+	"fmt"
 )
-
-func (m Mode) String() string {
-	switch m {
-	case ModeShared:
-		return "shared"
-	case ModeAppOnly:
-		return "app-only"
-	case ModeTOLOnly:
-		return "tol-only"
-	case ModeSplit:
-		return "split"
-	}
-	return "mode?"
-}
 
 // iqEntry is one instruction waiting in the instruction queue.
 type iqEntry struct {
@@ -104,7 +69,28 @@ type Simulator struct {
 
 	// MaxCycles aborts a runaway simulation (0 means no limit).
 	MaxCycles uint64
+
+	// Progress, when non-nil, is invoked from inside the cycle loop
+	// every ProgressEvery cycles with the cycle count and the number of
+	// retired host instructions so far. It must not mutate the
+	// simulator; it exists purely for observability (and is the hook
+	// darco uses to stream per-job progress events).
+	Progress func(cycles, insts uint64)
+
+	// ProgressEvery is the Progress callback period in cycles
+	// (0 = defaultProgressEvery).
+	ProgressEvery uint64
 }
+
+// defaultProgressEvery is the Progress period when unset: frequent
+// enough for interactive feedback, rare enough to be free.
+const defaultProgressEvery = 1 << 22
+
+// ctxCheckMask throttles context-cancellation polls inside the cycle
+// loop: the context is consulted every ctxCheckMask+1 cycles, so a
+// cancelled RunContext returns within a few thousand simulated cycles
+// (microseconds of host time) instead of waiting for MaxCycles.
+const ctxCheckMask = 1<<13 - 1
 
 // NewSimulator builds a simulator for the given configuration and mode.
 func NewSimulator(cfg Config, mode Mode) *Simulator {
@@ -221,7 +207,27 @@ func (s *Simulator) dataAccess(pc, addr uint32, owner Owner) (lat int, l1Miss bo
 
 // Run consumes the stream to completion and returns the results.
 func (s *Simulator) Run(src StreamSource) (*Result, error) {
+	return s.RunContext(context.Background(), src)
+}
+
+// RunContext consumes the stream to completion and returns the
+// results. Cancellation is checked inside the cycle loop (throttled to
+// every few thousand cycles), so cancelling ctx aborts a simulation
+// promptly with ctx.Err() regardless of MaxCycles.
+func (s *Simulator) RunContext(ctx context.Context, src StreamSource) (*Result, error) {
+	progressEvery := s.ProgressEvery
+	if progressEvery == 0 {
+		progressEvery = defaultProgressEvery
+	}
 	for {
+		if s.cycle&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if s.Progress != nil && s.cycle%progressEvery == 0 && s.cycle > 0 {
+			s.Progress(s.cycle, s.res.TotalInsts())
+		}
 		if s.MaxCycles != 0 && s.cycle > s.MaxCycles {
 			return nil, fmt.Errorf("timing: exceeded MaxCycles=%d at %d retired insts",
 				s.MaxCycles, s.res.TotalInsts())

@@ -7,8 +7,8 @@ package timing
 
 // BranchStats counts branch predictions and mispredictions per owner.
 type BranchStats struct {
-	Branches    [NumOwners]uint64
-	Mispredicts [NumOwners]uint64
+	Branches    [NumOwners]uint64 `json:"branches"`
+	Mispredicts [NumOwners]uint64 `json:"mispredicts"`
 }
 
 // MispredictRate returns the overall misprediction rate.

@@ -24,36 +24,38 @@ func (k BubbleKind) String() string {
 	return "bubble?"
 }
 
-// Result aggregates everything a timing run measures.
+// Result aggregates everything a timing run measures. Owner-indexed
+// arrays serialize as two-element JSON arrays ([app, tol]); component-
+// indexed arrays follow the Component order of stream.go.
 type Result struct {
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 
 	// Retired instruction counts.
-	Insts       [NumOwners]uint64
-	InstsByComp [NumComponents]uint64
+	Insts       [NumOwners]uint64     `json:"insts"`
+	InstsByComp [NumComponents]uint64 `json:"insts_by_comp"`
 
 	// Cycle attribution. A cycle in which instructions issue is an
 	// instruction cycle, split evenly among the issuing instructions'
 	// owners/components; a cycle with no issue is a bubble charged to
 	// its cause.
-	InstCycles       [NumOwners]float64
-	InstCyclesByComp [NumComponents]float64
-	Bubbles          [NumOwners][NumBubbleKinds]float64
-	BubblesByComp    [NumComponents]float64
+	InstCycles       [NumOwners]float64                 `json:"inst_cycles"`
+	InstCyclesByComp [NumComponents]float64             `json:"inst_cycles_by_comp"`
+	Bubbles          [NumOwners][NumBubbleKinds]float64 `json:"bubbles"`
+	BubblesByComp    [NumComponents]float64             `json:"bubbles_by_comp"`
 
 	// UnattributedCycles counts drain/warm-up cycles that have no
 	// natural owner (empty pipeline with nothing blocked).
-	UnattributedCycles float64
+	UnattributedCycles float64 `json:"unattributed_cycles"`
 
 	// Structure statistics.
-	L1I    CacheStats
-	L1D    CacheStats
-	L2     CacheStats
-	L1TLB  CacheStats
-	L2TLB  CacheStats
-	Branch BranchStats
+	L1I    CacheStats  `json:"l1i"`
+	L1D    CacheStats  `json:"l1d"`
+	L2     CacheStats  `json:"l2"`
+	L1TLB  CacheStats  `json:"l1_tlb"`
+	L2TLB  CacheStats  `json:"l2_tlb"`
+	Branch BranchStats `json:"branch"`
 
-	PrefetchesIssued uint64
+	PrefetchesIssued uint64 `json:"prefetches_issued"`
 }
 
 // TotalInsts returns total retired instructions.
@@ -110,4 +112,65 @@ func (r *Result) BubbleShare(k BubbleKind) float64 {
 		return 0
 	}
 	return (r.Bubbles[OwnerApp][k] + r.Bubbles[OwnerTOL][k]) / float64(r.Cycles)
+}
+
+// Summary is the flattened, machine-readable digest of a timing run:
+// every derived quantity the figure harnesses read off a Result, with
+// self-describing names instead of enum-indexed arrays.
+type Summary struct {
+	Cycles    uint64  `json:"cycles"`
+	IPC       float64 `json:"ipc"`
+	AppInsts  uint64  `json:"app_insts"`
+	TOLInsts  uint64  `json:"tol_insts"`
+	AppCycles float64 `json:"app_cycles"`
+	TOLCycles float64 `json:"tol_cycles"`
+	TOLShare  float64 `json:"tol_share"`
+
+	// Bubble cycles per source, summed over owners (Figure 9 axes).
+	DMissBubbles  float64 `json:"dmiss_bubbles"`
+	IMissBubbles  float64 `json:"imiss_bubbles"`
+	BranchBubbles float64 `json:"branch_bubbles"`
+	SchedBubbles  float64 `json:"sched_bubbles"`
+
+	// Cycles attributed per TOL component, keyed by Component.String()
+	// (Figure 7 axes).
+	ComponentCycles map[string]float64 `json:"component_cycles"`
+
+	// Structure behaviour.
+	L1IMissRate      float64 `json:"l1i_miss_rate"`
+	L1DMissRate      float64 `json:"l1d_miss_rate"`
+	L2MissRate       float64 `json:"l2_miss_rate"`
+	L1TLBMissRate    float64 `json:"l1_tlb_miss_rate"`
+	L2TLBMissRate    float64 `json:"l2_tlb_miss_rate"`
+	MispredictRate   float64 `json:"mispredict_rate"`
+	PrefetchesIssued uint64  `json:"prefetches_issued"`
+}
+
+// Summary flattens the result into its machine-readable digest.
+func (r *Result) Summary() Summary {
+	comps := make(map[string]float64, NumComponents)
+	for c := Component(0); c < NumComponents; c++ {
+		comps[c.String()] = r.ComponentCycles(c)
+	}
+	return Summary{
+		Cycles:           r.Cycles,
+		IPC:              r.IPC(),
+		AppInsts:         r.Insts[OwnerApp],
+		TOLInsts:         r.Insts[OwnerTOL],
+		AppCycles:        r.OwnerCycles(OwnerApp),
+		TOLCycles:        r.OwnerCycles(OwnerTOL),
+		TOLShare:         r.TOLShare(),
+		DMissBubbles:     r.Bubbles[OwnerApp][BubbleDMiss] + r.Bubbles[OwnerTOL][BubbleDMiss],
+		IMissBubbles:     r.Bubbles[OwnerApp][BubbleIMiss] + r.Bubbles[OwnerTOL][BubbleIMiss],
+		BranchBubbles:    r.Bubbles[OwnerApp][BubbleBranch] + r.Bubbles[OwnerTOL][BubbleBranch],
+		SchedBubbles:     r.Bubbles[OwnerApp][BubbleSched] + r.Bubbles[OwnerTOL][BubbleSched],
+		ComponentCycles:  comps,
+		L1IMissRate:      r.L1I.MissRate(),
+		L1DMissRate:      r.L1D.MissRate(),
+		L2MissRate:       r.L2.MissRate(),
+		L1TLBMissRate:    r.L1TLB.MissRate(),
+		L2TLBMissRate:    r.L2TLB.MissRate(),
+		MispredictRate:   r.Branch.MispredictRate(),
+		PrefetchesIssued: r.PrefetchesIssued,
+	}
 }

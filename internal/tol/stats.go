@@ -24,28 +24,31 @@ func (m Mode) String() string {
 	return "none"
 }
 
-// Stats aggregates TOL-level statistics over a run.
+// Stats aggregates TOL-level statistics over a run. The struct is
+// JSON-serializable and round-trips exactly: StaticMode (keyed by
+// guest PC, encoded as string object keys) carries the full static
+// code-distribution information behind Figure 5a.
 type Stats struct {
 	// Dynamic guest instructions executed, per mode (Figure 5b).
-	DynIM  uint64
-	DynBBM uint64
-	DynSBM uint64
+	DynIM  uint64 `json:"dyn_im"`
+	DynBBM uint64 `json:"dyn_bbm"`
+	DynSBM uint64 `json:"dyn_sbm"`
 
-	// staticMode maps each executed static guest instruction to the
+	// StaticMode maps each executed static guest instruction to the
 	// highest mode that ever owned it (Figure 5a).
-	staticMode map[uint32]Mode
+	StaticMode map[uint32]Mode `json:"static_mode,omitempty"`
 
 	// Activity counters.
-	BBTranslated   int
-	SBCreated      int // "SBM invocations" in Figure 6
-	Chains         uint64
-	IBTCFills      uint64
-	IndirectDyn    uint64 // dynamic guest indirect branches
-	Lookups        uint64 // code cache lookups performed by TOL
-	LookupProbes   uint64 // translation-table slots probed
-	Transitions    uint64 // translated-code-to-TOL transitions
-	CosimChecks    uint64
-	InterpBranches uint64
+	BBTranslated   int    `json:"bb_translated"`
+	SBCreated      int    `json:"sb_created"` // "SBM invocations" in Figure 6
+	Chains         uint64 `json:"chains"`
+	IBTCFills      uint64 `json:"ibtc_fills"`
+	IndirectDyn    uint64 `json:"indirect_dyn"`  // dynamic guest indirect branches
+	Lookups        uint64 `json:"lookups"`       // code cache lookups performed by TOL
+	LookupProbes   uint64 `json:"lookup_probes"` // translation-table slots probed
+	Transitions    uint64 `json:"transitions"`   // translated-code-to-TOL transitions
+	CosimChecks    uint64 `json:"cosim_checks"`
+	InterpBranches uint64 `json:"interp_branches"`
 }
 
 // DynTotal returns all guest instructions retired by the co-design
@@ -53,18 +56,18 @@ type Stats struct {
 func (s *Stats) DynTotal() uint64 { return s.DynIM + s.DynBBM + s.DynSBM }
 
 func (s *Stats) markStatic(pc uint32, m Mode) {
-	if s.staticMode == nil {
-		s.staticMode = make(map[uint32]Mode)
+	if s.StaticMode == nil {
+		s.StaticMode = make(map[uint32]Mode)
 	}
-	if s.staticMode[pc] < m {
-		s.staticMode[pc] = m
+	if s.StaticMode[pc] < m {
+		s.StaticMode[pc] = m
 	}
 }
 
 // StaticCounts returns the number of executed static guest
 // instructions whose highest mode is IM, BBM and SBM respectively.
 func (s *Stats) StaticCounts() (im, bbm, sbm int) {
-	for _, m := range s.staticMode {
+	for _, m := range s.StaticMode {
 		switch m {
 		case ModeIM:
 			im++
@@ -79,4 +82,51 @@ func (s *Stats) StaticCounts() (im, bbm, sbm int) {
 
 // StaticTotal returns the number of distinct executed static guest
 // instructions.
-func (s *Stats) StaticTotal() int { return len(s.staticMode) }
+func (s *Stats) StaticTotal() int { return len(s.StaticMode) }
+
+// Summary is the flattened, machine-readable digest of the TOL view of
+// a run: the dynamic and static mode distributions plus every activity
+// counter, without the per-PC StaticMode map.
+type Summary struct {
+	DynIM    uint64 `json:"dyn_im"`
+	DynBBM   uint64 `json:"dyn_bbm"`
+	DynSBM   uint64 `json:"dyn_sbm"`
+	DynTotal uint64 `json:"dyn_total"`
+
+	StaticIM    int `json:"static_im"`
+	StaticBBM   int `json:"static_bbm"`
+	StaticSBM   int `json:"static_sbm"`
+	StaticTotal int `json:"static_total"`
+
+	BBTranslated int    `json:"bb_translated"`
+	SBCreated    int    `json:"sb_created"`
+	Chains       uint64 `json:"chains"`
+	IBTCFills    uint64 `json:"ibtc_fills"`
+	IndirectDyn  uint64 `json:"indirect_dyn"`
+	Lookups      uint64 `json:"lookups"`
+	Transitions  uint64 `json:"transitions"`
+	CosimChecks  uint64 `json:"cosim_checks"`
+}
+
+// Summary flattens the stats into their machine-readable digest.
+func (s *Stats) Summary() Summary {
+	im, bbm, sbm := s.StaticCounts()
+	return Summary{
+		DynIM:        s.DynIM,
+		DynBBM:       s.DynBBM,
+		DynSBM:       s.DynSBM,
+		DynTotal:     s.DynTotal(),
+		StaticIM:     im,
+		StaticBBM:    bbm,
+		StaticSBM:    sbm,
+		StaticTotal:  s.StaticTotal(),
+		BBTranslated: s.BBTranslated,
+		SBCreated:    s.SBCreated,
+		Chains:       s.Chains,
+		IBTCFills:    s.IBTCFills,
+		IndirectDyn:  s.IndirectDyn,
+		Lookups:      s.Lookups,
+		Transitions:  s.Transitions,
+		CosimChecks:  s.CosimChecks,
+	}
+}
