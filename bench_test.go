@@ -6,6 +6,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/darco"
@@ -220,6 +221,34 @@ func BenchmarkWorkloadBuild(b *testing.B) {
 		if _, err := spec.Build(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkOptimizePipeline compares the engine's end-to-end cost
+// under the O0 (no SBM optimizer) and O3 (two propagation rounds +
+// RLE + scheduling) presets, so the optimizer's own cost is tracked
+// over time alongside its benefit.
+func BenchmarkOptimizePipeline(b *testing.B) {
+	for _, level := range []int{0, 3} {
+		b.Run(fmt.Sprintf("O%d", level), func(b *testing.B) {
+			p := buildHotLoop(2_000)
+			cfg := tol.DefaultConfig()
+			cfg.Cosim = false
+			cfg.SBThreshold = 50
+			if err := tol.ApplyOptLevel(&cfg, level); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := tol.NewEngine(cfg, p)
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if level > 0 && eng.Stats.SBCreated == 0 {
+					b.Fatal("no superblock created")
+				}
+			}
+		})
 	}
 }
 

@@ -33,13 +33,16 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 8, 9, 10, 11, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 7b, 8, 9, 10, 11, all")
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
 	csv := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON")
 	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	benches := flag.String("benchmarks", "", "comma-separated subset of benchmarks")
+	passes := flag.String("passes", "", "SBM optimization pipeline (comma-separated pass names; 'none' = empty)")
+	optLevel := flag.Int("O", -1, "optimization preset 0..3 (-1 = default O2; 0 disables SBM)")
+	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	from := flag.String("from", "", "comma-separated JSON record files (darco/darco-suite -json output) to reuse instead of simulating")
 	flag.Parse()
@@ -51,6 +54,10 @@ func main() {
 	opts.Scale = *scale
 	opts.Config = darco.DefaultConfig()
 	opts.Config.TOL.Cosim = *cosim
+	if err := darco.ApplyPipelineFlags(&opts.Config.TOL, *optLevel, *passes, *promote); err != nil {
+		fmt.Fprintln(os.Stderr, "darco-figs:", err)
+		os.Exit(2)
+	}
 	opts.Jobs = *jobs
 	opts.Context = ctx
 	if !*quiet {
@@ -116,6 +123,13 @@ func main() {
 	}
 	if want("7") {
 		t, err := r.Fig7()
+		if err != nil {
+			die(err)
+		}
+		emit(t)
+	}
+	if want("7b") {
+		t, err := r.Fig7b()
 		if err != nil {
 			die(err)
 		}

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	darco-suite [-scale f] [-suite name] [-bench name] [-mode m] [-jobs n] [-csv|-json]
+//	darco-suite -O 1 -promote adaptive     # sweep under an ablated TOL config
+//	darco-suite -passes constprop,dce,sched
 //
 // Benchmarks execute concurrently on a darco.Session worker pool
 // (-jobs); the engine is deterministic, so the table is identical for
@@ -37,6 +39,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.Bool("json", false, "emit JSON records (full results) instead of a table")
 	cosim := flag.Bool("cosim", true, "verify execution against the authoritative emulator")
+	passes := flag.String("passes", "", "SBM optimization pipeline (comma-separated pass names; 'none' = empty)")
+	optLevel := flag.Int("O", -1, "optimization preset 0..3 (-1 = default O2; 0 disables SBM)")
+	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "progress to stderr")
 	flag.Parse()
@@ -75,6 +80,10 @@ func main() {
 	cfg := darco.DefaultConfig()
 	cfg.TOL.Cosim = *cosim
 	cfg.Mode = mode
+	if err := darco.ApplyPipelineFlags(&cfg.TOL, *optLevel, *passes, *promote); err != nil {
+		fmt.Fprintln(os.Stderr, "darco-suite:", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -7,6 +7,8 @@
 //
 //	darco -bench 400.perlbench [-scale f] [-mode shared|app-only|tol-only|split]
 //	darco -bench 400.perlbench,470.lbm -jobs 4 -json
+//	darco -bench 470.lbm -passes constprop,dce,sched      # ablate one pass
+//	darco -bench 470.lbm -O 1 -promote adaptive           # preset + policy
 //	darco -list
 //	darco -print-config
 //
@@ -41,6 +43,9 @@ func main() {
 	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
 	sbth := flag.Int("sbth", 0, "override BB/SBth promotion threshold")
 	bbth := flag.Int("bbth", 0, "override IM/BBth promotion threshold")
+	passes := flag.String("passes", "", "SBM optimization pipeline (comma-separated pass names; 'none' = empty)")
+	optLevel := flag.Int("O", -1, "optimization preset 0..3 (-1 = default O2; 0 disables SBM)")
+	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
 	jsonOut := flag.Bool("json", false, "emit results as JSON records instead of tables")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -74,6 +79,10 @@ func main() {
 	}
 	if *bbth > 0 {
 		cfg.TOL.BBThreshold = *bbth
+	}
+	if err := darco.ApplyPipelineFlags(&cfg.TOL, *optLevel, *passes, *promote); err != nil {
+		fmt.Fprintln(os.Stderr, "darco:", err)
+		os.Exit(2)
 	}
 
 	var specs []workload.Spec
@@ -174,6 +183,26 @@ func report(spec workload.Spec, res *darco.Result) {
 	tt.AddRow("code cache insts", fmt.Sprint(res.CodeCacheInsts))
 	tt.AddRow("cosim checks", fmt.Sprint(res.TOL.CosimChecks))
 	fmt.Println(tt.String())
+
+	if len(res.TOL.SBPasses) > 0 {
+		sbmCyc := tr.ComponentCycles(timing.CompSBM)
+		total := float64(res.TOL.SBMInstTotal())
+		pt := stats.NewTable("SBM optimizer by pass (Fig. 7b quantities)",
+			"pass", "runs", "visits", "eliminated", "% of SBM time")
+		share := func(insts uint64) string {
+			if total == 0 {
+				return "0.0"
+			}
+			return fmt.Sprintf("%.1f", 100*float64(insts)/total)
+		}
+		for _, ps := range res.TOL.SBPasses {
+			pt.AddRow(ps.Pass, fmt.Sprint(ps.Runs), fmt.Sprint(ps.Visits),
+				fmt.Sprint(ps.Eliminated), share(ps.CostInsts))
+		}
+		pt.AddRow("(trace+emit)", "", "", "", share(res.TOL.SBOtherInsts))
+		pt.AddRow("SBM total", "", "", "", fmt.Sprintf("%.2f%% of cycles", 100*sbmCyc/cyc))
+		fmt.Println(pt.String())
+	}
 }
 
 func dumpConfig() {

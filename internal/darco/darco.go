@@ -9,8 +9,11 @@
 //
 //   - Run(ctx, p, opts...): a context-aware single run configured with
 //     functional options (WithMode, WithTOLConfig, WithTiming,
-//     WithMaxCycles, WithCosim, WithProgress). Cancelling ctx aborts
-//     the run promptly from inside the timing simulator's cycle loop.
+//     WithMaxCycles, WithCosim, WithPasses, WithOptLevel,
+//     WithPromotion, WithProgress). Cancelling ctx aborts the run
+//     promptly from inside the timing simulator's cycle loop; invalid
+//     configurations (unknown pass or promotion-policy names, bad
+//     thresholds) are rejected by Config.Validate before simulating.
 //   - Session: a concurrent batch executor with a worker pool and a
 //     config-hash memo cache, for the paper's many-benchmark sweeps
 //     (see session.go). The engine is fully deterministic, so
@@ -79,6 +82,19 @@ func DefaultConfig() Config {
 		Timing: timing.DefaultConfig(),
 		Mode:   timing.ModeShared,
 	}
+}
+
+// Validate rejects configurations that would fail mid-run or silently
+// simulate garbage (tol.Config.Validate: negative thresholds,
+// degenerate superblock bounds, unknown pass or promotion-policy
+// names, an empty pipeline with SBM enabled). Run, RunInteraction and
+// Session.Run call it before simulating, so bad configs fail fast with
+// a clear error.
+func (c *Config) Validate() error {
+	if err := c.TOL.Validate(); err != nil {
+		return fmt.Errorf("darco: invalid config: %w", err)
+	}
+	return nil
 }
 
 // defaultMaxCycles guards runaway simulations when Config.MaxCycles is
@@ -224,6 +240,9 @@ func RunConfig(p *guest.Program, cfg Config) (*Result, error) {
 // run is the single execution path behind Run, Session and the
 // experiment runners.
 func (cfg Config) run(ctx context.Context, p *guest.Program) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	eng := tol.NewEngine(cfg.TOL, p)
 	sim := timing.NewSimulator(cfg.Timing, cfg.Mode)
 	if cfg.MaxCycles != 0 {

@@ -1,6 +1,8 @@
 package darco
 
 import (
+	"fmt"
+
 	"repro/internal/timing"
 	"repro/internal/tol"
 )
@@ -43,6 +45,67 @@ func WithMaxCycles(n uint64) Option {
 // guest emulator.
 func WithCosim(on bool) Option {
 	return func(c *Config) { c.TOL.Cosim = on }
+}
+
+// WithPasses selects the SBM optimization pass pipeline as a
+// comma-separated list of registered pass names (tol.ParsePipeline
+// spec, e.g. "constprop,dce,rle,sched"; "none" is the empty pipeline
+// and requires SBM to be disabled). Unknown pass names are rejected by
+// Config.Validate before the run starts.
+func WithPasses(spec string) Option {
+	return func(c *Config) {
+		c.TOL.Passes = spec
+		c.TOL.OptLevel = ""
+	}
+}
+
+// WithOptLevel selects a preset optimization level 0..3 (tol.ApplyOptLevel):
+// O0 disables SBM entirely, O1 = constprop+dce, O2 = the paper's full
+// pipeline (the default), O3 = O2 with a second propagation round.
+// Out-of-range levels are rejected by Config.Validate before the run
+// starts.
+func WithOptLevel(level int) Option {
+	return func(c *Config) {
+		if err := tol.ApplyOptLevel(&c.TOL, level); err != nil {
+			// Record the bad level so validation fails fast with a clear
+			// message instead of silently running a default.
+			c.TOL.Passes = ""
+			c.TOL.OptLevel = fmt.Sprintf("O%d", level)
+		}
+	}
+}
+
+// WithPromotion selects the tier-promotion policy ("fixed" — the
+// paper's thresholds — or "adaptive" back-off). Unknown names are
+// rejected by Config.Validate before the run starts.
+func WithPromotion(name string) Option {
+	return func(c *Config) { c.TOL.Promotion = name }
+}
+
+// ApplyPipelineFlags applies the -O/-passes/-promote command-line
+// flags shared by the darco tools to a TOL config and validates the
+// result, so every cmd rejects bad pipelines identically before
+// simulating. optLevel < 0 means "flag not given"; empty strings leave
+// the config untouched. An explicit -passes overrides the pipeline of
+// -O 1..3; combining -passes with -O 0 is contradictory (O0 disables
+// SBM, so the requested passes could never run) and is rejected.
+func ApplyPipelineFlags(tc *tol.Config, optLevel int, passes, promote string) error {
+	if optLevel >= 0 {
+		if optLevel == 0 && passes != "" {
+			return fmt.Errorf("darco: -O 0 disables SBM, so -passes %q would never run; drop one of the flags", passes)
+		}
+		if err := tol.ApplyOptLevel(tc, optLevel); err != nil {
+			return err
+		}
+	}
+	if passes != "" {
+		tc.Passes = passes
+		tc.OptLevel = ""
+	}
+	if promote != "" {
+		tc.Promotion = promote
+	}
+	return tc.Validate()
 }
 
 // WithProgress installs a periodic in-run progress callback. The

@@ -1,0 +1,186 @@
+package darco
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/timing"
+	"repro/internal/tol"
+	"repro/internal/workload"
+)
+
+// hotProgram is a small loop that promotes to SBM quickly under a low
+// threshold.
+func hotProgram() *guest.Program {
+	b := guest.NewBuilder()
+	b.Label("start")
+	b.MovRI(guest.EAX, 0)
+	b.MovRI(guest.ECX, 2000)
+	b.Label("loop")
+	b.AddRR(guest.EAX, guest.ECX)
+	b.XorRI(guest.EAX, 0x55)
+	b.Dec(guest.ECX)
+	b.CmpRI(guest.ECX, 0)
+	b.Jcc(guest.CondNE, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func lowThreshold() Option {
+	return func(c *Config) { c.TOL.SBThreshold = 50 }
+}
+
+// TestRecordPassStatsRoundTrip: the per-pass SBM breakdown must
+// survive the Record JSON interchange (darco-suite -json →
+// darco-figs -from) exactly.
+func TestRecordPassStatsRoundTrip(t *testing.T) {
+	res, err := Run(context.Background(), hotProgram(), WithCosim(false), lowThreshold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TOL.SBPasses) == 0 {
+		t.Fatal("run produced no per-pass stats")
+	}
+
+	rec := NewRecord("hotloop", "test", 1.0, timing.ModeShared, res, nil)
+	var buf bytes.Buffer
+	if err := EncodeRecords(&buf, []Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Result == nil {
+		t.Fatalf("decoded %d records", len(recs))
+	}
+	if !reflect.DeepEqual(recs[0].Result.TOL.SBPasses, res.TOL.SBPasses) {
+		t.Fatalf("SBPasses did not round-trip:\n got %+v\nwant %+v",
+			recs[0].Result.TOL.SBPasses, res.TOL.SBPasses)
+	}
+	if recs[0].Result.TOL.SBOtherInsts != res.TOL.SBOtherInsts {
+		t.Fatal("SBOtherInsts did not round-trip")
+	}
+	if !reflect.DeepEqual(recs[0].Summary.TOL.SBPasses, res.TOL.Summary().SBPasses) {
+		t.Fatal("Summary.SBPasses did not round-trip")
+	}
+}
+
+// TestPipelineResultDeterminism: one pipeline spec ⇒ byte-identical
+// Result JSON across repeated runs (the property the Session cache and
+// the figure harness rely on).
+func TestPipelineResultDeterminism(t *testing.T) {
+	run := func() string {
+		res, err := Run(context.Background(), hotProgram(), WithCosim(false),
+			lowThreshold(), WithPasses("dce,constprop,rle,sched"), WithPromotion("adaptive"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if run() != run() {
+		t.Fatal("same pipeline spec produced different Result JSON")
+	}
+}
+
+// TestRunValidatesConfig: bad pipeline and policy specs must fail fast
+// with a clear error from Run, RunInteraction and Session.Run alike.
+func TestRunValidatesConfig(t *testing.T) {
+	ctx := context.Background()
+	p := hotProgram()
+
+	if _, err := Run(ctx, p, WithPasses("bogus")); err == nil ||
+		!strings.Contains(err.Error(), "unknown pass") {
+		t.Fatalf("Run with bad pipeline: %v", err)
+	}
+	if _, err := Run(ctx, p, WithPromotion("bogus")); err == nil ||
+		!strings.Contains(err.Error(), "unknown promotion policy") {
+		t.Fatalf("Run with bad policy: %v", err)
+	}
+	if _, err := Run(ctx, p, WithOptLevel(9)); err == nil ||
+		!strings.Contains(err.Error(), "optimization level") {
+		t.Fatalf("Run with bad opt level: %v", err)
+	}
+	if _, err := RunInteraction(ctx, p, WithPasses("bogus")); err == nil {
+		t.Fatal("RunInteraction with bad pipeline succeeded")
+	}
+
+	// WithPasses("none") alone leaves SBM enabled: rejected.
+	if _, err := Run(ctx, p, WithPasses(tol.PassesNone)); err == nil ||
+		!strings.Contains(err.Error(), "empty optimization pipeline") {
+		t.Fatalf("Run with empty pipeline + SBM: %v", err)
+	}
+
+	sess := NewSession(WithWorkers(1))
+	var failed int
+	sessEv := NewSession(WithWorkers(1), WithEvents(func(ev Event) {
+		if ev.Kind == EventFailed {
+			failed++
+		}
+	}))
+	job := Job{Name: "bad", Build: func() (*guest.Program, error) { return p, nil },
+		Opts: []Option{WithPasses("bogus")}}
+	if _, err := sess.Run(ctx, job); err == nil {
+		t.Fatal("Session.Run with bad pipeline succeeded")
+	}
+	if _, err := sessEv.Run(ctx, job); err == nil {
+		t.Fatal("Session.Run with bad pipeline succeeded")
+	}
+	if failed != 1 {
+		t.Fatalf("expected one EventFailed, got %d", failed)
+	}
+}
+
+// TestWithOptLevelZero: O0 stops at BBM (no superblocks, no per-pass
+// stats) and still computes correctly.
+func TestWithOptLevelZero(t *testing.T) {
+	res, err := Run(context.Background(), hotProgram(), WithCosim(true), lowThreshold(), WithOptLevel(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TOL.SBCreated != 0 || res.TOL.DynSBM != 0 || len(res.TOL.SBPasses) != 0 {
+		t.Fatalf("O0 ran SBM: %+v", res.TOL.Summary())
+	}
+	if res.TOL.DynBBM == 0 {
+		t.Fatal("O0 never reached BBM")
+	}
+}
+
+// TestOptLevelsOrdered: a catalog benchmark under O0..O3 — higher
+// levels may only shrink the emitted superblock code, and every level
+// stays deterministic and correct (cosim on).
+func TestOptLevelsOrdered(t *testing.T) {
+	spec, err := workload.ByName("462.libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.Scale(0.25)
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevCC int
+	for level := 1; level <= 3; level++ {
+		res, err := Run(context.Background(), p, WithCosim(true), WithOptLevel(level))
+		if err != nil {
+			t.Fatalf("O%d: %v", level, err)
+		}
+		if res.TOL.SBCreated == 0 {
+			t.Fatalf("O%d created no superblocks", level)
+		}
+		if level > 1 && res.CodeCacheInsts > prevCC {
+			t.Errorf("O%d emitted more code (%d) than O%d (%d)",
+				level, res.CodeCacheInsts, level-1, prevCC)
+		}
+		prevCC = res.CodeCacheInsts
+	}
+}

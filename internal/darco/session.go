@@ -204,6 +204,13 @@ func (s *Session) Preload(name string, mode timing.Mode, res *Result) {
 // a cancelled job can be retried.
 func (s *Session) Run(ctx context.Context, job Job) (*Result, error) {
 	cfg := job.resolve()
+	// Fail fast on invalid configs: no worker slot, no cache entry —
+	// every submission of a bad job reports the same clear error.
+	if err := cfg.Validate(); err != nil {
+		err = fmt.Errorf("%s: %w", job.Name, err)
+		s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventFailed, Err: err})
+		return nil, err
+	}
 	key := cacheKey(job.Name, job.Variant, &cfg)
 
 	var e *sessionEntry

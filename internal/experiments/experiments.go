@@ -331,6 +331,88 @@ func (r *Runner) Fig7() (*stats.Table, error) {
 	return t, nil
 }
 
+// Fig7b regenerates the pass-level refinement of Figure 7 enabled by
+// the pluggable pipeline: the SBM component time split per
+// optimization pass, plus the non-pass remainder (trace construction,
+// emission, bookkeeping) as "sbm-other", all as % of total cycles.
+// Each pass's share is its fraction of the modeled SBM instruction
+// stream applied to the SBM component cycles, so the columns sum to
+// the aggregate SBM time of Figure 7. The final column is the total
+// number of guest instructions the passes eliminated.
+func (r *Runner) Fig7b() (*stats.Table, error) {
+	if err := r.warm(timing.ModeShared); err != nil {
+		return nil, err
+	}
+	// Derive the pass columns from the results themselves (union across
+	// benchmarks, first-appearance order), so preloaded records from a
+	// differently configured run (-from with other -O/-passes flags)
+	// keep every pass share they actually carry. Fall back to the
+	// session pipeline when no run created superblocks.
+	var names []string
+	seen := map[string]bool{}
+	err := r.forEach(func(s workload.Spec) error {
+		res, err := r.Shared(s.Name)
+		if err != nil {
+			return err
+		}
+		for _, ps := range res.TOL.SBPasses {
+			if !seen[ps.Pass] {
+				seen[ps.Pass] = true
+				names = append(names, ps.Pass)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if names == nil {
+		if names, err = r.opts.Config.TOL.PipelineNames(); err != nil {
+			return nil, err
+		}
+	}
+	cols := []string{"benchmark", "suite"}
+	for _, n := range names {
+		cols = append(cols, n)
+	}
+	cols = append(cols, "sbm-other", "eliminated")
+	t := stats.NewTable("Figure 7b: SBM time by optimization pass (% of cycles)", cols...)
+	err = r.forEach(func(s workload.Spec) error {
+		res, err := r.Shared(s.Name)
+		if err != nil {
+			return err
+		}
+		cyc := float64(res.Timing.Cycles)
+		sbmCyc := res.Timing.ComponentCycles(timing.CompSBM)
+		total := float64(res.TOL.SBMInstTotal())
+		share := func(insts uint64) float64 {
+			if total == 0 || cyc == 0 {
+				return 0
+			}
+			return 100 * sbmCyc * (float64(insts) / total) / cyc
+		}
+		row := []any{s.Name, s.Suite.String()}
+		var eliminated uint64
+		for _, n := range names {
+			var insts uint64
+			for _, ps := range res.TOL.SBPasses {
+				if ps.Pass == n {
+					insts, eliminated = ps.CostInsts, eliminated+ps.Eliminated
+					break
+				}
+			}
+			row = append(row, share(insts))
+		}
+		row = append(row, share(res.TOL.SBOtherInsts), fmt.Sprint(eliminated))
+		t.AddRowf(3, row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // Fig8 regenerates Figure 8: TOL performance characteristics in
 // isolation — IPC, data/instruction cache miss rates, and branch
 // misprediction rate.

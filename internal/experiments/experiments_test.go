@@ -100,6 +100,47 @@ func TestFig7ComponentsPresent(t *testing.T) {
 	}
 }
 
+// TestFig7bSumsToAggregate: the per-pass SBM split of Figure 7b must
+// sum (pass columns + sbm-other) to the aggregate SBM component time
+// of Figure 7, per benchmark — the defining property of the per-pass
+// attribution.
+func TestFig7bSumsToAggregate(t *testing.T) {
+	r := testRunner(t)
+	t7, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t7b, err := r.Fig7b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7b.Rows) != len(t7.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(t7b.Rows), len(t7.Rows))
+	}
+	// Fig7b columns: benchmark, suite, <passes...>, sbm-other, eliminated.
+	nPass := len(t7b.Headers) - 4
+	if nPass < 1 {
+		t.Fatalf("headers: %v", t7b.Headers)
+	}
+	for i, row := range t7b.Rows {
+		var sum float64
+		for c := 2; c < 2+nPass+1; c++ { // passes + sbm-other
+			var v float64
+			if _, err := fscan(row[c], &v); err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		var sbm float64
+		if _, err := fscan(t7.Rows[i][5], &sbm); err != nil {
+			t.Fatal(err)
+		}
+		if diff := sum - sbm; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s: per-pass sum %.3f%% != aggregate SBM %.2f%%", row[0], sum, sbm)
+		}
+	}
+}
+
 func TestFig8IPCVariance(t *testing.T) {
 	r := testRunner(t)
 	tab, err := r.Fig8()

@@ -33,13 +33,17 @@ func (b *decodedBB) terminator() *guest.Inst {
 
 // Translator builds BBM translations and (via superblock.go) SBM
 // superblocks. It reads guest code through the co-design component's
-// guest memory view.
+// guest memory view. The SBM optimizer is the translator's resolved
+// pass pipeline; the promotion policy supplies the threshold compiled
+// into each BBM block's profiling instrumentation.
 type Translator struct {
-	cfg   *Config
-	cc    *CodeCache
-	tt    *TransTable
-	prof  *ProfileTable
-	guest mem.Memory // guest address space view (window-adapted)
+	cfg      *Config
+	pipeline []Pass
+	policy   PromotionPolicy
+	cc       *CodeCache
+	tt       *TransTable
+	prof     *ProfileTable
+	guest    mem.Memory // guest address space view (window-adapted)
 
 	// Work accounting for the cost model (reset per operation).
 	LastWork Work
@@ -48,15 +52,23 @@ type Translator struct {
 // Work quantifies the effort of the last translation/optimization, in
 // units the cost model converts into host-instruction streams.
 type Work struct {
-	GuestInsts   int      // guest instructions processed
-	HostEmitted  int      // host instructions produced
-	OptPassInsts int      // instruction visits across optimization passes
-	TableProbes  []uint32 // translation-table slots touched
+	GuestInsts   int          // guest instructions processed
+	HostEmitted  int          // host instructions produced
+	OptPassInsts int          // total IR visits (sum of Passes[i].Visits)
+	Passes       []PassReport // per-pass reports, pipeline order
+	TableProbes  []uint32     // translation-table slots touched
 }
 
-// NewTranslator wires a translator to the TOL services.
-func NewTranslator(cfg *Config, cc *CodeCache, tt *TransTable, prof *ProfileTable, g mem.Memory) *Translator {
-	return &Translator{cfg: cfg, cc: cc, tt: tt, prof: prof, guest: g}
+// NewTranslator wires a translator to the TOL services, resolving the
+// configured optimization pipeline. The promotion policy instance is
+// shared with the engine so stateful policies see every promotion.
+func NewTranslator(cfg *Config, policy PromotionPolicy, cc *CodeCache, tt *TransTable, prof *ProfileTable, g mem.Memory) (*Translator, error) {
+	pipeline, err := cfg.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	return &Translator{cfg: cfg, pipeline: pipeline, policy: policy,
+		cc: cc, tt: tt, prof: prof, guest: g}, nil
 }
 
 // decodeBB decodes the basic block starting at guest address entry.
@@ -120,7 +132,7 @@ func (t *Translator) TranslateBB(entry uint32) (*Translation, error) {
 	e.emit(host.Inst{Op: host.Addi, Rd: sc1, Rs1: sc1, Imm: 1})
 	e.emit(host.Inst{Op: host.St, Rs1: sc0, Rs2: sc1})
 	if t.cfg.EnableSBM {
-		e.loadImm(sc2, uint32(t.cfg.SBThreshold))
+		e.loadImm(sc2, t.policy.SBThreshold(entry))
 		e.emit(host.Inst{Op: host.Blt, Rs1: sc1, Rs2: sc2, Imm: host.InstBytes}) // skip the exit
 		e.exitStub(&ExitInfo{Reason: ExitPromote, Retired: 0, GuestTarget: entry})
 	}

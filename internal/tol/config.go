@@ -11,10 +11,31 @@
 //     counters.
 //   - SBM: superblock and optimization mode. When a basic block
 //     executes more than BB/SBth times, the profile guides formation of
-//     a superblock, which is aggressively optimized (copy/constant
-//     propagation, constant folding, redundant-load elimination with
-//     register allocation, dead code elimination, and instruction
-//     scheduling) and placed in the code cache.
+//     a superblock, which is optimized by the configurable pass
+//     pipeline and placed in the code cache.
+//
+// The SBM optimizer is a pipeline of registered passes (see Pass,
+// ParsePipeline and RegisteredPasses). The registered passes are:
+//
+//   - constprop: copy and constant propagation with constant folding
+//     (including folded flag results and constant side exits),
+//   - dce: dead code elimination (unused register writes and dead flag
+//     definitions between side exits),
+//   - rle: redundant-load elimination with register allocation
+//     (repeated loads of one location are cached in the allocatable
+//     host registers r46..r63),
+//   - sched: list instruction scheduling on the emitted host code
+//     (sched.go).
+//
+// The default (O2) pipeline runs all four in that order; Config.Passes
+// and the O0–O3 presets select alternatives. A doc test
+// (TestPackageDocListsRegisteredPasses) keeps this list in sync with
+// the registry.
+//
+// Tier promotion is likewise pluggable: a PromotionPolicy (the paper's
+// fixed thresholds by default, or the adaptive back-off policy)
+// decides when interpreted code is translated and when translated
+// blocks are promoted.
 //
 // Translations are connected by chaining (direct-branch patching) and
 // indirect branches probe an inline Indirect Branch Translation Cache
@@ -28,17 +49,39 @@
 // microarchitectural resources.
 package tol
 
+import "fmt"
+
 // Config controls the TOL policies.
 type Config struct {
 	// BBThreshold is IM/BBth: interpretations of a branch target before
-	// its basic block is translated. The paper uses 5.
+	// its basic block is translated. The paper uses 5. It parameterizes
+	// the configured promotion policy (see Promotion).
 	BBThreshold int
 
 	// SBThreshold is BB/SBth: executions of a translated basic block
 	// before it is promoted to a superblock. The paper uses 10K at a 4B
 	// instruction budget; the scaled default here preserves the ratio
 	// between repetition and threshold at the smaller default budgets.
+	// It parameterizes the configured promotion policy.
 	SBThreshold int
+
+	// Promotion selects the tier-promotion policy consulted by the
+	// engine and compiled into the BBM instrumentation stubs: "fixed"
+	// (the paper's two-threshold policy, the default when empty) or
+	// "adaptive" (threshold back-off as superblocks accumulate). See
+	// RegisteredPromotionPolicies.
+	Promotion string `json:",omitempty"`
+
+	// Passes selects the SBM optimization pipeline as a comma-separated
+	// list of registered pass names (e.g. "constprop,dce,rle,sched").
+	// Empty selects the OptLevel preset; the sentinel "none" is the
+	// explicitly empty pipeline and is valid only with EnableSBM=false.
+	Passes string `json:",omitempty"`
+
+	// OptLevel selects a preset pipeline ("O0".."O3") when Passes is
+	// empty. Empty means "O2", the paper's full optimizer — so Config
+	// literals predating the pipeline API keep their behaviour.
+	OptLevel string `json:",omitempty"`
 
 	// MaxSBBlocks and MaxSBGuestInsts bound superblock formation.
 	MaxSBBlocks     int
@@ -60,7 +103,8 @@ type Config struct {
 
 // DefaultConfig returns the paper's thresholds scaled per DESIGN.md
 // (IM/BBth = 5 as in the paper; BB/SBth scaled to the default workload
-// sizes), with all features enabled.
+// sizes), with all features enabled and the default (O2) pipeline and
+// fixed promotion policy.
 func DefaultConfig() Config {
 	return Config{
 		BBThreshold:     5,
@@ -81,4 +125,37 @@ func PaperConfig() Config {
 	c := DefaultConfig()
 	c.SBThreshold = 10_000
 	return c
+}
+
+// Validate rejects configurations that would fail deep inside a run
+// (or silently simulate garbage): negative thresholds, degenerate
+// superblock bounds, unknown pass or policy names, and an empty
+// optimization pipeline with SBM enabled. The darco controller calls
+// it before every run so bad configs fail fast with a clear error.
+func (c *Config) Validate() error {
+	if c.BBThreshold < 0 {
+		return fmt.Errorf("tol: BBThreshold must be >= 0 (got %d)", c.BBThreshold)
+	}
+	if c.SBThreshold < 0 {
+		return fmt.Errorf("tol: SBThreshold must be >= 0 (got %d)", c.SBThreshold)
+	}
+	if c.EnableSBM {
+		if c.MaxSBBlocks < 1 {
+			return fmt.Errorf("tol: MaxSBBlocks must be >= 1 when SBM is enabled (got %d)", c.MaxSBBlocks)
+		}
+		if c.MaxSBGuestInsts < 1 {
+			return fmt.Errorf("tol: MaxSBGuestInsts must be >= 1 when SBM is enabled (got %d)", c.MaxSBGuestInsts)
+		}
+	}
+	pipeline, err := c.Pipeline()
+	if err != nil {
+		return err
+	}
+	if c.EnableSBM && len(pipeline) == 0 {
+		return fmt.Errorf("tol: empty optimization pipeline with SBM enabled; disable SBM (ApplyOptLevel(cfg, 0) does both)")
+	}
+	if _, err := c.NewPromotionPolicy(); err != nil {
+		return err
+	}
+	return nil
 }

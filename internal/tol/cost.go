@@ -308,11 +308,28 @@ func (c *costEmitter) BBMTranslate(tr *Translation, work *Work) {
 	c.aluN(timing.CompBBM, pc, costBBMFixed-costBBMFixed/2)
 }
 
+// SBMCost splits the modeled host instructions of one SBM invocation
+// by activity: each optimization pass's IR walk separately, and
+// everything else (trace construction, IR build, emission, table
+// probes and the fixed prologue/epilogue) as Other. The engine folds
+// it into Stats so per-pass SBM time can be reported (the Figure-7
+// refinement); the parts always sum to the invocation's total SBM
+// stream.
+type SBMCost struct {
+	PerPass []int // modeled host instructions per pass, aligned with Work.Passes
+	Other   int   // trace build + emission + bookkeeping instructions
+}
+
 // SBMOptimize emits the cost of forming and optimizing a superblock:
-// trace construction reads guest code, the IR is built and repeatedly
-// visited in the IR buffer region, and the final code is stored into
-// the code cache.
-func (c *costEmitter) SBMOptimize(tr *Translation, work *Work) {
+// trace construction reads guest code, the IR is built and then
+// visited by each optimization pass in the IR buffer region, and the
+// final code is stored into the code cache. The returned SBMCost
+// reports how many stream instructions each pass accounted for.
+func (c *costEmitter) SBMOptimize(tr *Translation, work *Work) SBMCost {
+	cost := SBMCost{PerPass: make([]int, len(work.Passes))}
+	mark := func() int { return len(c.out.buf) }
+	start := mark()
+
 	pc := optimizeText
 	pc = c.aluN(timing.CompSBM, pc, costSBMFixed/2)
 	// Trace construction + IR build.
@@ -322,16 +339,28 @@ func (c *costEmitter) SBMOptimize(tr *Translation, work *Work) {
 		pc = c.store(timing.CompSBM, pc, irAddr)
 		pc = c.aluN(timing.CompSBM, pc, costSBMPerGuestInst-2)
 	}
-	// Optimization passes: each visit loads and updates an IR slot.
-	for v := 0; v < work.OptPassInsts; v++ {
-		irAddr := mem.IRBufBase + uint32(v%4096)*16
-		pc = c.load(timing.CompSBM, pc, irAddr)
-		pc = c.aluN(timing.CompSBM, pc, costSBMPerPassVisit-2)
-		pc = c.store(timing.CompSBM, pc, irAddr)
-		if v%16 == 15 {
-			pc = c.branch(timing.CompSBM, pc, true, optimizeText+16*host.InstBytes)
+	preOpt := mark()
+
+	// Optimization passes: each visit loads and updates an IR slot. The
+	// visit counter v advances globally across passes, so the emitted
+	// stream is identical to billing the pipeline as one block.
+	v := 0
+	for pi, pr := range work.Passes {
+		passStart := mark()
+		for k := 0; k < pr.Visits; k++ {
+			irAddr := mem.IRBufBase + uint32(v%4096)*16
+			pc = c.load(timing.CompSBM, pc, irAddr)
+			pc = c.aluN(timing.CompSBM, pc, costSBMPerPassVisit-2)
+			pc = c.store(timing.CompSBM, pc, irAddr)
+			if v%16 == 15 {
+				pc = c.branch(timing.CompSBM, pc, true, optimizeText+16*host.InstBytes)
+			}
+			v++
 		}
+		cost.PerPass[pi] = mark() - passStart
 	}
+	postOpt := mark()
+
 	// Emission into the code cache.
 	hostPC := tr.HostEntry
 	for i := 0; i < work.HostEmitted; i++ {
@@ -343,6 +372,9 @@ func (c *costEmitter) SBMOptimize(tr *Translation, work *Work) {
 		pc = c.load(timing.CompSBM, pc, transSlotAddr(slot))
 	}
 	c.aluN(timing.CompSBM, pc, costSBMFixed-costSBMFixed/2)
+
+	cost.Other = (preOpt - start) + (mark() - postOpt)
+	return cost
 }
 
 // Init emits TOL start-up work (one-time, attributed to TOL others).

@@ -45,6 +45,7 @@ type Engine struct {
 
 	shadow   *x86emu.Emulator
 	promoted map[uint32]*Translation
+	policy   PromotionPolicy
 
 	Stats Stats
 }
@@ -53,7 +54,10 @@ type Engine struct {
 // letting the timing simulator drain it.
 const queueDrainThreshold = 4096
 
-// NewEngine builds the co-design component for a guest program.
+// NewEngine builds the co-design component for a guest program. An
+// invalid configuration (unknown pass or promotion-policy names, bad
+// bounds — see Config.Validate) surfaces as an immediate run error:
+// the engine produces no stream and Err reports the problem.
 func NewEngine(cfg Config, p *guest.Program) *Engine {
 	hm := mem.NewSparse()
 	p.LoadIntoWindow(hm)
@@ -69,7 +73,12 @@ func NewEngine(cfg Config, p *guest.Program) *Engine {
 
 		promoted: make(map[uint32]*Translation),
 	}
-	e.Trans = NewTranslator(&e.Cfg, e.CC, e.TT, e.Prof, e.GuestV)
+	if err := e.Cfg.Validate(); err != nil {
+		e.fail("%v", err)
+		return e
+	}
+	e.policy, _ = e.Cfg.NewPromotionPolicy() // validated above
+	e.Trans, _ = NewTranslator(&e.Cfg, e.policy, e.CC, e.TT, e.Prof, e.GuestV)
 	e.cost = newCostEmitter(&e.queue)
 	e.gs.EIP = p.Entry
 	e.gs.Regs[guest.ESP] = mem.GuestStackTop
@@ -201,7 +210,7 @@ func (e *Engine) stepIM() {
 		e.enterTranslated(entry)
 		return
 	}
-	if int(cnt) > e.Cfg.BBThreshold {
+	if e.policy.ShouldTranslate(target, cnt) {
 		tr := e.translateBB(target)
 		if tr != nil {
 			e.enterTranslated(tr.HostEntry)
@@ -235,7 +244,9 @@ func (e *Engine) buildSB(g uint32) *Translation {
 	for _, pc := range tr.GuestPCs {
 		e.Stats.markStatic(pc, ModeSBM)
 	}
-	e.cost.SBMOptimize(tr, &e.Trans.LastWork)
+	cost := e.cost.SBMOptimize(tr, &e.Trans.LastWork)
+	e.Stats.addSBMPasses(e.Trans.LastWork.Passes, cost)
+	e.policy.OnSuperblock(g)
 	return tr
 }
 
@@ -422,7 +433,7 @@ func (e *Engine) handleIndirect() {
 	if !ok {
 		cnt := e.Prof.Bump(target)
 		e.cost.IMProfile(e.Prof.SlotAddr(target), probes[0])
-		if int(cnt) > e.Cfg.BBThreshold {
+		if e.policy.ShouldTranslate(target, cnt) {
 			if tr := e.translateBB(target); tr != nil {
 				entry, ok = tr.HostEntry, true
 			}
@@ -453,7 +464,7 @@ func (e *Engine) handleStaticExit(pc uint32, info *ExitInfo) {
 	if !ok {
 		cnt := e.Prof.Bump(target)
 		e.cost.IMProfile(e.Prof.SlotAddr(target), probes[0])
-		if int(cnt) > e.Cfg.BBThreshold {
+		if e.policy.ShouldTranslate(target, cnt) {
 			if tr := e.translateBB(target); tr != nil {
 				entry, ok = tr.HostEntry, true
 			}

@@ -1,0 +1,113 @@
+package tol
+
+import (
+	"repro/internal/guest"
+	"repro/internal/host"
+)
+
+// Redundant-load elimination (the "rle" pass). Repeated loads of the
+// same (base register, displacement) slot inside a trace are cached in
+// the allocatable host registers r46..r63 — the CSE of the memory
+// pipeline. The pass runs after propagation and DCE (in the default
+// pipeline) over the surviving instructions, annotating each affected
+// load/store; emission consumes the annotations.
+//
+// The cache must be invalidated conservatively: any store to a slot
+// that is not an exact key match, any stack or indexed memory write,
+// and any write to a register used as a cache key base kills the
+// affected entries — the same alias discipline the original fused
+// emitter implemented.
+
+// rlAction annotates how emission handles a memory instruction after
+// redundant-load elimination.
+type rlAction uint8
+
+const (
+	rlNone         rlAction = iota
+	rlAllocLoad             // first load of a repeated slot: load through the allocated register
+	rlUseLoad               // later load: copy from the allocated register
+	rlStoreThrough          // exact-slot store: update the register, then store
+)
+
+// redundantLoadEliminate annotates the plan's loads and stores with
+// register-cache actions and returns the number of loads eliminated
+// (served from a register instead of the memory window).
+func redundantLoadEliminate(p *tracePlan) int {
+	// Only slots loaded at least twice are worth a register.
+	loadCounts := map[slotKey]int{}
+	for i := range p.insts {
+		ti := &p.insts[i]
+		if !ti.drop && !ti.constDst && ti.in.Op == guest.OpLoad {
+			loadCounts[slotKey{ti.in.RB, ti.in.Imm}]++
+		}
+	}
+
+	cache := map[slotKey]host.Reg{}
+	nextAlloc := allocFirst
+	eliminated := 0
+	invalidateAll := func() {
+		for k := range cache {
+			delete(cache, k)
+		}
+	}
+	invalidateBase := func(b guest.Reg) {
+		for k := range cache {
+			if k.base == b {
+				delete(cache, k)
+			}
+		}
+	}
+
+	for i := range p.insts {
+		ti := &p.insts[i]
+		ti.rlKind, ti.rlReg = rlNone, 0 // reset: the pass may be re-run
+		if ti.drop {
+			continue
+		}
+		in := &ti.in
+		switch {
+		case ti.sideExit:
+			// Side exits read registers but write nothing.
+
+		case ti.constDst:
+			invalidateBase(in.R1)
+
+		case in.Op == guest.OpLoad:
+			key := slotKey{in.RB, in.Imm}
+			if r, ok := cache[key]; ok {
+				ti.rlKind, ti.rlReg = rlUseLoad, r
+				eliminated++
+			} else if loadCounts[key] >= 2 && nextAlloc <= allocLast {
+				r := nextAlloc
+				nextAlloc++
+				ti.rlKind, ti.rlReg = rlAllocLoad, r
+				cache[key] = r
+			}
+			// The load overwrites its destination; entries keyed on that
+			// base register no longer describe a valid address.
+			invalidateBase(in.R1)
+
+		case in.Op == guest.OpStore:
+			key := slotKey{in.RB, in.Imm}
+			if r, ok := cache[key]; ok {
+				// Exact-slot store: keep the cached value coherent.
+				ti.rlKind, ti.rlReg = rlStoreThrough, r
+			} else {
+				invalidateAll()
+			}
+
+		default:
+			if in.EndsBlock() {
+				continue // final terminator: emission handles it separately
+			}
+			switch in.Op {
+			case guest.OpStoreIdx, guest.OpPushR, guest.OpFStore, guest.OpPopR:
+				invalidateAll()
+			}
+			if d, pure := pureDest(in, ti); pure {
+				invalidateBase(guest.Reg(d))
+			}
+		}
+	}
+	return eliminated
+}

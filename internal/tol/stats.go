@@ -49,6 +49,65 @@ type Stats struct {
 	Transitions    uint64 `json:"transitions"`   // translated-code-to-TOL transitions
 	CosimChecks    uint64 `json:"cosim_checks"`
 	InterpBranches uint64 `json:"interp_branches"`
+
+	// SBPasses aggregates the optimizer's work per pass across all SBM
+	// invocations, keyed by pass name in first-run order — the data
+	// behind the "SBM time by pass" breakdown (Figure-7 refinement).
+	SBPasses []PassStat `json:"sb_passes,omitempty"`
+	// SBOtherInsts counts the modeled SBM host instructions outside the
+	// passes: trace construction, IR build, emission and fixed
+	// bookkeeping. SBPasses[i].CostInsts plus SBOtherInsts is the whole
+	// SBM cost stream.
+	SBOtherInsts uint64 `json:"sb_other_insts,omitempty"`
+}
+
+// PassStat aggregates one optimization pass's work across all SBM
+// invocations of a run.
+type PassStat struct {
+	Pass       string `json:"pass"`
+	Runs       uint64 `json:"runs"`       // pipeline-position invocations
+	Visits     uint64 `json:"visits"`     // IR instruction visits billed
+	Eliminated uint64 `json:"eliminated"` // guest instructions removed/absorbed
+	// CostInsts is the number of modeled host instructions the cost
+	// model attributed to the pass — its share of the SBM stream.
+	CostInsts uint64 `json:"cost_insts"`
+}
+
+// addSBMPasses folds one superblock build's pass reports and cost
+// split into the aggregate per-pass statistics. Repeated pipeline
+// entries (O3 runs propagation twice) aggregate under one name.
+func (s *Stats) addSBMPasses(reports []PassReport, cost SBMCost) {
+	s.SBOtherInsts += uint64(cost.Other)
+	for i, r := range reports {
+		var ps *PassStat
+		for j := range s.SBPasses {
+			if s.SBPasses[j].Pass == r.Pass {
+				ps = &s.SBPasses[j]
+				break
+			}
+		}
+		if ps == nil {
+			s.SBPasses = append(s.SBPasses, PassStat{Pass: r.Pass})
+			ps = &s.SBPasses[len(s.SBPasses)-1]
+		}
+		ps.Runs++
+		ps.Visits += uint64(r.Visits)
+		ps.Eliminated += uint64(r.Eliminated)
+		if i < len(cost.PerPass) {
+			ps.CostInsts += uint64(cost.PerPass[i])
+		}
+	}
+}
+
+// SBMInstTotal returns the total modeled SBM host instructions (all
+// passes plus the non-pass remainder) — the denominator of the
+// per-pass SBM time split.
+func (s *Stats) SBMInstTotal() uint64 {
+	total := s.SBOtherInsts
+	for _, ps := range s.SBPasses {
+		total += ps.CostInsts
+	}
+	return total
 }
 
 // DynTotal returns all guest instructions retired by the co-design
@@ -106,6 +165,12 @@ type Summary struct {
 	Lookups      uint64 `json:"lookups"`
 	Transitions  uint64 `json:"transitions"`
 	CosimChecks  uint64 `json:"cosim_checks"`
+
+	// SBPasses is the per-pass SBM work breakdown (pipeline order);
+	// SBOtherInsts is the non-pass remainder of the SBM cost stream, so
+	// per-pass shares can be normalized from the digest alone.
+	SBPasses     []PassStat `json:"sb_passes,omitempty"`
+	SBOtherInsts uint64     `json:"sb_other_insts,omitempty"`
 }
 
 // Summary flattens the stats into their machine-readable digest.
@@ -128,5 +193,7 @@ func (s *Stats) Summary() Summary {
 		Lookups:      s.Lookups,
 		Transitions:  s.Transitions,
 		CosimChecks:  s.CosimChecks,
+		SBPasses:     append([]PassStat(nil), s.SBPasses...),
+		SBOtherInsts: s.SBOtherInsts,
 	}
 }

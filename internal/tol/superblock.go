@@ -38,6 +38,11 @@ type traceInst struct {
 	constVal uint32
 	setFlags bool // emit a constant-flags load (flags result known)
 	flagsVal uint32
+
+	// Redundant-load-elimination annotations (set by the rle pass,
+	// consumed by emission; see rle.go).
+	rlKind rlAction
+	rlReg  host.Reg
 }
 
 // traceEnd describes how a formed trace terminates.
@@ -49,13 +54,16 @@ const (
 	endTerminal                 // last instruction is a call/ret/indirect/halt
 )
 
-// tracePlan is a formed superblock before emission.
+// tracePlan is a formed superblock before emission. Guest-stage passes
+// transform insts; after emission and sealing, code carries the host
+// instructions for host-stage passes (sched).
 type tracePlan struct {
 	seed      uint32
 	insts     []traceInst
 	end       traceEnd
 	endTarget uint32 // for endJump
 	blocks    int
+	code      *emitter // set once host code is sealed
 }
 
 // buildTrace forms the superblock trace starting at seed.
@@ -133,17 +141,10 @@ func (t *Translator) buildTrace(seed uint32) (*tracePlan, error) {
 	}
 }
 
-// optimize runs the guest-level passes over the trace, returning
-// instruction-visit counts for the cost model.
-func (t *Translator) optimize(p *tracePlan) int {
-	visits := 0
-	visits += constPropagate(p)
-	visits += deadCodeEliminate(p)
-	return visits
-}
-
-// constPropagate runs copy/constant propagation and folding.
-func constPropagate(p *tracePlan) int {
+// constPropagate runs copy/constant propagation and folding,
+// returning the instruction visits billed to the cost model and the
+// number of instructions newly folded or dropped.
+func constPropagate(p *tracePlan) (visits, eliminated int) {
 	var isConst [guest.NumRegs]bool
 	var constVal [guest.NumRegs]uint32
 	// alias[r] = the register whose value r currently mirrors (copy
@@ -154,7 +155,6 @@ func constPropagate(p *tracePlan) int {
 	}
 	flagsKnown := false
 	flagsVal := uint32(0)
-	visits := 0
 
 	clobberReg := func(r guest.Reg) {
 		isConst[r] = false
@@ -172,6 +172,7 @@ func constPropagate(p *tracePlan) int {
 			continue
 		}
 		visits++
+		wasConst, wasDrop := ti.constDst, ti.drop
 		in := &ti.in
 
 		// Copy propagation: rewrite pure-source register operands
@@ -253,8 +254,12 @@ func constPropagate(p *tracePlan) int {
 				// first execution and the trace tail is simply cold).
 			}
 		}
+
+		if (ti.constDst && !wasConst) || (ti.drop && !wasDrop) {
+			eliminated++
+		}
 	}
-	return visits
+	return visits, eliminated
 }
 
 // foldALU folds one ALU instruction when its operands are constant.
@@ -318,10 +323,11 @@ func foldALU(ti *traceInst, isConst *[guest.NumRegs]bool, constVal *[guest.NumRe
 // deadCodeEliminate removes register writes that are provably dead:
 // overwritten before any read, with no memory side effect, no live flag
 // definition, and no intervening exit (all guest registers are
-// architecturally live at every exit).
-func deadCodeEliminate(p *tracePlan) int {
+// architecturally live at every exit). It returns the instruction
+// visits billed to the cost model and the number of instructions
+// dropped.
+func deadCodeEliminate(p *tracePlan) (visits, eliminated int) {
 	live := ^uint32(0) // bitmask over guest regs; all live at trace end
-	visits := 0
 	mat := planFlagsLiveness(p)
 	for i := len(p.insts) - 1; i >= 0; i-- {
 		ti := &p.insts[i]
@@ -337,6 +343,7 @@ func deadCodeEliminate(p *tracePlan) int {
 		dst, pure := pureDest(in, ti)
 		if pure && live&(1<<dst) == 0 && !mat[i] {
 			ti.drop = true
+			eliminated++
 			continue
 		}
 		// Update liveness: kill the destination, then add sources.
@@ -347,7 +354,7 @@ func deadCodeEliminate(p *tracePlan) int {
 			live |= 1 << r
 		}
 	}
-	return visits
+	return visits, eliminated
 }
 
 // pureDest reports the destination register of an instruction with no
@@ -440,42 +447,29 @@ type slotKey struct {
 }
 
 // BuildSuperblock forms, optimizes, and places a superblock seeded at
-// guest address seed.
+// guest address seed. Optimization runs the translator's configured
+// pass pipeline: guest-stage passes transform the trace plan before
+// emission, host-stage passes transform the sealed host code, and
+// every pass contributes a PassReport to LastWork for the per-pass
+// cost attribution.
 func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 	t.LastWork = Work{}
 	plan, err := t.buildTrace(seed)
 	if err != nil {
 		return nil, err
 	}
-	optVisits := t.optimize(plan)
+
+	reports := make([]PassReport, 0, len(t.pipeline))
+	for _, p := range t.pipeline {
+		if p.Stage() == StageGuest {
+			reports = append(reports, p.Run(plan))
+		}
+	}
 
 	e := newEmitter()
 	tr := &Translation{Kind: KindSB, GuestEntry: seed}
 
 	mat := planFlagsLiveness(plan)
-
-	// Redundant-load cache state.
-	loadCounts := map[slotKey]int{}
-	for i := range plan.insts {
-		ti := &plan.insts[i]
-		if !ti.drop && !ti.constDst && ti.in.Op == guest.OpLoad {
-			loadCounts[slotKey{ti.in.RB, ti.in.Imm}]++
-		}
-	}
-	cache := map[slotKey]host.Reg{}
-	nextAlloc := allocFirst
-	invalidateAll := func() {
-		for k := range cache {
-			delete(cache, k)
-		}
-	}
-	invalidateBase := func(b guest.Reg) {
-		for k := range cache {
-			if k.base == b {
-				delete(cache, k)
-			}
-		}
-	}
 
 	type sideStub struct {
 		l    label
@@ -483,6 +477,13 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 	}
 	var stubs []sideStub
 	retired := 0
+
+	// rlFilled tracks which rle cache registers actually hold their
+	// slot value at the current emission point. Under the default
+	// pipeline every rlUseLoad follows its rlAllocLoad, but a pass
+	// ordered after rle (e.g. "rle,dce") may drop the filling load —
+	// in that case the fill is materialized at the first surviving use.
+	var rlFilled [host.NumRegs]bool
 
 	for i := range plan.insts {
 		ti := &plan.insts[i]
@@ -513,40 +514,41 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 			if ti.setFlags && mat[i] {
 				e.loadImm(host.RFlags, ti.flagsVal)
 			}
-			invalidateBase(in.R1)
 
 		case ti.setFlags && mat[i] && !writesDest(in):
 			// Compare/test with known flags: just set the flags.
 			e.loadImm(host.RFlags, ti.flagsVal)
 
 		case in.Op == guest.OpLoad:
-			key := slotKey{in.RB, in.Imm}
-			if r, ok := cache[key]; ok {
-				e.mov(rG(in.R1), r)
-			} else if loadCounts[key] >= 2 && nextAlloc <= allocLast {
-				r := nextAlloc
-				nextAlloc++
+			switch ti.rlKind {
+			case rlUseLoad:
+				if !rlFilled[ti.rlReg] {
+					// The filling load was dropped by a later pass:
+					// rle's own invalidation guarantees neither the base
+					// register nor the slot changed since, so loading
+					// here is equivalent.
+					e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: rG(in.RB)})
+					e.emit(host.Inst{Op: host.Ld, Rd: ti.rlReg, Rs1: sc0, Imm: in.Imm})
+					rlFilled[ti.rlReg] = true
+				}
+				e.mov(rG(in.R1), ti.rlReg)
+			case rlAllocLoad:
 				e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: rG(in.RB)})
-				e.emit(host.Inst{Op: host.Ld, Rd: r, Rs1: sc0, Imm: in.Imm})
-				e.mov(rG(in.R1), r)
-				cache[key] = r
-			} else {
+				e.emit(host.Inst{Op: host.Ld, Rd: ti.rlReg, Rs1: sc0, Imm: in.Imm})
+				e.mov(rG(in.R1), ti.rlReg)
+				rlFilled[ti.rlReg] = true
+			default:
 				e.emitGuestInst(in, false)
 			}
-			invalidateBase(in.R1)
 
 		case in.Op == guest.OpStore:
-			key := slotKey{in.RB, in.Imm}
-			if r, ok := cache[key]; ok {
-				// Exact-slot store: keep the cache coherent.
-				e.mov(r, rG(in.R1))
-				e.emitGuestInst(in, false)
-			} else {
-				e.emitGuestInst(in, false)
-				invalidateAll()
-				// Exact-match slots survive only when keys are equal;
-				// after invalidateAll nothing remains to fix up.
+			if ti.rlKind == rlStoreThrough {
+				// Exact-slot store: keep the register cache coherent
+				// (and filled — the stored value is the slot value).
+				e.mov(ti.rlReg, rG(in.R1))
+				rlFilled[ti.rlReg] = true
 			}
+			e.emitGuestInst(in, false)
 
 		default:
 			if ti.in.EndsBlock() {
@@ -556,15 +558,6 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 			e.emitGuestInst(in, mat[i] && !ti.setFlags)
 			if ti.setFlags && mat[i] {
 				e.loadImm(host.RFlags, ti.flagsVal)
-			}
-			switch in.Op {
-			case guest.OpStoreIdx, guest.OpPushR, guest.OpFStore:
-				invalidateAll()
-			case guest.OpPopR:
-				invalidateAll() // ESP-relative read plus pointer move
-			}
-			if d, pure := pureDest(in, ti); pure {
-				invalidateBase(guest.Reg(d))
 			}
 		}
 	}
@@ -605,9 +598,15 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 		return nil, err
 	}
 
-	// Instruction scheduling (pass 4) on the sealed code. Scheduling
-	// preserves branch positions, so exit indices remain valid.
-	schedVisits := scheduleCode(e)
+	// Host-stage passes (instruction scheduling) on the sealed code.
+	// Scheduling preserves branch positions, so exit indices remain
+	// valid.
+	plan.code = e
+	for _, p := range t.pipeline {
+		if p.Stage() == StageHost {
+			reports = append(reports, p.Run(plan))
+		}
+	}
 
 	if err := t.cc.Place(tr, e.code, 0, stubStart, e.exits); err != nil {
 		return nil, err
@@ -615,7 +614,10 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 	t.LastWork.TableProbes = append(t.LastWork.TableProbes, t.tt.Insert(seed, tr.HostEntry)...)
 	t.LastWork.GuestInsts = len(plan.insts)
 	t.LastWork.HostEmitted = len(e.code)
-	t.LastWork.OptPassInsts = optVisits + schedVisits
+	t.LastWork.Passes = reports
+	for _, r := range reports {
+		t.LastWork.OptPassInsts += r.Visits
+	}
 	return tr, nil
 }
 
