@@ -6,6 +6,7 @@
 //
 //	darco-figs                  # all figures, full catalog
 //	darco-figs -fig 6           # one figure
+//	darco-figs -fig cc          # cache-pressure sweep (not part of "all")
 //	darco-figs -scale 2 -csv
 //	darco-figs -jobs 8          # parallel figure regeneration
 //	darco-figs -from a.json,b.json  # reuse darco-suite -json results
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 7b, 8, 9, 10, 11, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 7b, 8, 9, 10, 11, cc, all ('all' excludes the cc sweep)")
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
 	csv := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON")
@@ -43,6 +44,8 @@ func main() {
 	passes := flag.String("passes", "", "SBM optimization pipeline (comma-separated pass names; 'none' = empty)")
 	optLevel := flag.Int("O", -1, "optimization preset 0..3 (-1 = default O2; 0 disables SBM)")
 	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
+	ccSize := flag.Int("cc-size", 0, "bound the code cache to this many instruction slots (0 = unbounded)")
+	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	from := flag.String("from", "", "comma-separated JSON record files (darco/darco-suite -json output) to reuse instead of simulating")
 	flag.Parse()
@@ -54,6 +57,14 @@ func main() {
 	opts.Scale = *scale
 	opts.Config = darco.DefaultConfig()
 	opts.Config.TOL.Cosim = *cosim
+	if *fig == "cc" && (*ccSize != 0 || *ccPolicy != "") {
+		// The sweep sets its own capacity × policy matrix per point; a
+		// base-config bound would be silently overwritten. Use cmd/darco
+		// or cmd/darco-suite for a single bounded configuration.
+		fmt.Fprintln(os.Stderr, "darco-figs: -fig cc sweeps its own capacities and policies; -cc-size/-cc-policy apply to the other figures only")
+		os.Exit(2)
+	}
+	darco.ApplyCacheFlags(&opts.Config.TOL, *ccSize, *ccPolicy)
 	if err := darco.ApplyPipelineFlags(&opts.Config.TOL, *optLevel, *passes, *promote); err != nil {
 		fmt.Fprintln(os.Stderr, "darco-figs:", err)
 		os.Exit(2)
@@ -163,6 +174,16 @@ func main() {
 		}
 		emit(ta)
 		emit(tb)
+	}
+	// The cache-pressure sweep runs 1 + 3×len(capacities) simulations
+	// per benchmark, so it is opt-in and not part of "all"; restrict it
+	// with -benchmarks for quick sweeps.
+	if *fig == "cc" {
+		t, err := r.FigCC(nil)
+		if err != nil {
+			die(err)
+		}
+		emit(t)
 	}
 
 	if *jsonOut {

@@ -7,6 +7,7 @@
 //	darco-suite [-scale f] [-suite name] [-bench name] [-mode m] [-jobs n] [-csv|-json]
 //	darco-suite -O 1 -promote adaptive     # sweep under an ablated TOL config
 //	darco-suite -passes constprop,dce,sched
+//	darco-suite -cc-size 1024 -cc-policy flush-all  # bounded code cache
 //
 // Benchmarks execute concurrently on a darco.Session worker pool
 // (-jobs); the engine is deterministic, so the table is identical for
@@ -42,6 +43,8 @@ func main() {
 	passes := flag.String("passes", "", "SBM optimization pipeline (comma-separated pass names; 'none' = empty)")
 	optLevel := flag.Int("O", -1, "optimization preset 0..3 (-1 = default O2; 0 disables SBM)")
 	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
+	ccSize := flag.Int("cc-size", 0, "bound the code cache to this many instruction slots (0 = unbounded)")
+	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "progress to stderr")
 	flag.Parse()
@@ -80,6 +83,7 @@ func main() {
 	cfg := darco.DefaultConfig()
 	cfg.TOL.Cosim = *cosim
 	cfg.Mode = mode
+	darco.ApplyCacheFlags(&cfg.TOL, *ccSize, *ccPolicy)
 	if err := darco.ApplyPipelineFlags(&cfg.TOL, *optLevel, *passes, *promote); err != nil {
 		fmt.Fprintln(os.Stderr, "darco-suite:", err)
 		os.Exit(2)

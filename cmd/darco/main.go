@@ -9,6 +9,7 @@
 //	darco -bench 400.perlbench,470.lbm -jobs 4 -json
 //	darco -bench 470.lbm -passes constprop,dce,sched      # ablate one pass
 //	darco -bench 470.lbm -O 1 -promote adaptive           # preset + policy
+//	darco -bench 470.lbm -cc-size 512 -cc-policy lru-translation
 //	darco -list
 //	darco -print-config
 //
@@ -46,6 +47,8 @@ func main() {
 	passes := flag.String("passes", "", "SBM optimization pipeline (comma-separated pass names; 'none' = empty)")
 	optLevel := flag.Int("O", -1, "optimization preset 0..3 (-1 = default O2; 0 disables SBM)")
 	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
+	ccSize := flag.Int("cc-size", 0, "bound the code cache to this many instruction slots (0 = unbounded)")
+	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
 	jsonOut := flag.Bool("json", false, "emit results as JSON records instead of tables")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -80,6 +83,7 @@ func main() {
 	if *bbth > 0 {
 		cfg.TOL.BBThreshold = *bbth
 	}
+	darco.ApplyCacheFlags(&cfg.TOL, *ccSize, *ccPolicy)
 	if err := darco.ApplyPipelineFlags(&cfg.TOL, *optLevel, *passes, *promote); err != nil {
 		fmt.Fprintln(os.Stderr, "darco:", err)
 		os.Exit(2)
@@ -181,6 +185,9 @@ func report(spec workload.Spec, res *darco.Result) {
 	tt.AddRow("code cache lookups", fmt.Sprint(res.TOL.Lookups))
 	tt.AddRow("transitions to TOL", fmt.Sprint(res.TOL.Transitions))
 	tt.AddRow("code cache insts", fmt.Sprint(res.CodeCacheInsts))
+	tt.AddRow("code cache peak", fmt.Sprint(res.TOL.CacheOccupancyPeak))
+	tt.AddRow("evictions / flushes", fmt.Sprintf("%d / %d", res.TOL.Evictions, res.TOL.FlushCount))
+	tt.AddRow("retranslations", fmt.Sprint(res.TOL.Retranslations))
 	tt.AddRow("cosim checks", fmt.Sprint(res.TOL.CosimChecks))
 	fmt.Println(tt.String())
 

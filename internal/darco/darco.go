@@ -10,10 +10,11 @@
 //   - Run(ctx, p, opts...): a context-aware single run configured with
 //     functional options (WithMode, WithTOLConfig, WithTiming,
 //     WithMaxCycles, WithCosim, WithPasses, WithOptLevel,
-//     WithPromotion, WithProgress). Cancelling ctx aborts the run
-//     promptly from inside the timing simulator's cycle loop; invalid
-//     configurations (unknown pass or promotion-policy names, bad
-//     thresholds) are rejected by Config.Validate before simulating.
+//     WithPromotion, WithCodeCache, WithProgress). Cancelling ctx
+//     aborts the run promptly from inside the timing simulator's cycle
+//     loop; invalid configurations (unknown pass, promotion-policy or
+//     eviction-policy names, bad thresholds or cache bounds) are
+//     rejected by Config.Validate before simulating.
 //   - Session: a concurrent batch executor with a worker pool and a
 //     config-hash memo cache, for the paper's many-benchmark sweeps
 //     (see session.go). The engine is fully deterministic, so

@@ -82,6 +82,18 @@ func WithPromotion(name string) Option {
 	return func(c *Config) { c.TOL.Promotion = name }
 }
 
+// WithCodeCache bounds the translation code cache to capacityInsts
+// instruction slots under the named eviction policy ("flush-all",
+// "fifo-region" or "lru-translation"; "" selects flush-all). A zero
+// capacity restores the unbounded cache, which is cycle-identical to
+// the pre-bounded infrastructure. Degenerate bounds and unknown policy
+// names are rejected by Config.Validate before the run starts.
+func WithCodeCache(capacityInsts int, policy string) Option {
+	return func(c *Config) {
+		c.TOL.Cache = tol.CacheConfig{CapacityInsts: capacityInsts, Policy: policy}
+	}
+}
+
 // ApplyPipelineFlags applies the -O/-passes/-promote command-line
 // flags shared by the darco tools to a TOL config and validates the
 // result, so every cmd rejects bad pipelines identically before
@@ -106,6 +118,22 @@ func ApplyPipelineFlags(tc *tol.Config, optLevel int, passes, promote string) er
 		tc.Promotion = promote
 	}
 	return tc.Validate()
+}
+
+// ApplyCacheFlags applies the -cc-size/-cc-policy command-line flags
+// shared by the darco tools to a TOL config. capacity <= 0 and empty
+// policy mean "flag not given" and leave the config untouched. The
+// resulting configuration is validated by the subsequent
+// ApplyPipelineFlags call (every cmd applies cache flags first), so
+// bad bounds and unknown policies are rejected identically everywhere
+// before simulating.
+func ApplyCacheFlags(tc *tol.Config, capacity int, policy string) {
+	if capacity > 0 {
+		tc.Cache.CapacityInsts = capacity
+	}
+	if policy != "" {
+		tc.Cache.Policy = policy
+	}
 }
 
 // WithProgress installs a periodic in-run progress callback. The

@@ -25,6 +25,13 @@ type Job struct {
 	Variant string
 	Build   func() (*guest.Program, error)
 	Opts    []Option
+
+	// NoPreload excludes the job from the preload shortcut. Preloaded
+	// Records are matched by (name, mode) only and carry no Config, so
+	// jobs that deliberately vary the configuration for one benchmark —
+	// e.g. the cache-pressure sweep's bounded-cache legs — must opt out
+	// or they would be served a result from a different configuration.
+	NoPreload bool
 }
 
 // EventKind classifies Session progress events.
@@ -216,7 +223,7 @@ func (s *Session) Run(ctx context.Context, job Job) (*Result, error) {
 	var e *sessionEntry
 	for {
 		s.mu.Lock()
-		if res, ok := s.preload[preloadKey(job.Name, cfg.Mode)]; ok {
+		if res, ok := s.preload[preloadKey(job.Name, cfg.Mode)]; ok && !job.NoPreload {
 			s.mu.Unlock()
 			s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventCached})
 			return res, nil

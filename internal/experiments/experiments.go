@@ -16,10 +16,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/darco"
 	"repro/internal/stats"
 	"repro/internal/timing"
+	"repro/internal/tol"
 	"repro/internal/workload"
 )
 
@@ -409,6 +411,117 @@ func (r *Runner) Fig7b() (*stats.Table, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	return t, nil
+}
+
+// DefaultCCCapacities is the capacity sweep of FigCC, in instruction
+// slots. 0 is the unbounded baseline; the bounded points shrink
+// geometrically into the range where the catalog benchmarks' code
+// footprints (roughly 600–6500 instruction slots at scale 1) no
+// longer fit, so every policy is exercised under real pressure.
+var DefaultCCCapacities = []int{0, 4096, 2048, 1024, 512, 256}
+
+// ccJob builds the session job for one cache-pressure sweep point.
+// Bounded points opt out of preloading: preloaded Records are matched
+// by (benchmark, mode) only and were produced under the unbounded
+// baseline configuration.
+func (r *Runner) ccJob(s workload.Spec, capacity int, policy string) darco.Job {
+	cfg := r.opts.Config
+	cfg.Mode = timing.ModeShared
+	cfg.TOL.Cache = tol.CacheConfig{CapacityInsts: capacity, Policy: policy}
+	j := darco.JobForSpec(s, r.opts.Scale, darco.WithConfig(cfg))
+	j.NoPreload = capacity > 0
+	return j
+}
+
+// FigCC runs the cache-pressure characterization enabled by the
+// bounded code cache: every benchmark is swept over the given
+// capacities (nil = DefaultCCCapacities) under every registered
+// eviction policy, and the table reports cycles, the slowdown against
+// the unbounded baseline, and the eviction/retranslation activity at
+// each point. Rows are grouped per benchmark — the baseline first,
+// then each policy with capacities in descending (monotone) order —
+// so the capacity axis of the figure reads directly down the table.
+func (r *Runner) FigCC(capacities []int) (*stats.Table, error) {
+	if capacities == nil {
+		capacities = DefaultCCCapacities
+	}
+	// The unbounded baseline (capacity 0) always runs — the slowdown
+	// column needs its reference point; bounded capacities are swept in
+	// descending order.
+	var caps []int
+	for _, c := range capacities {
+		if c > 0 {
+			caps = append(caps, c)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(caps)))
+	policies := tol.RegisteredEvictionPolicies()
+
+	// Warm the whole sweep as one concurrent batch.
+	type point struct {
+		bench    string
+		policy   string
+		capacity int
+	}
+	var jobs []darco.Job
+	var points []point
+	for _, s := range r.specs {
+		jobs = append(jobs, r.ccJob(s, 0, ""))
+		points = append(points, point{s.Name, "", 0})
+		for _, pol := range policies {
+			for _, c := range caps {
+				jobs = append(jobs, r.ccJob(s, c, pol))
+				points = append(points, point{s.Name, pol, c})
+			}
+		}
+	}
+	results := make(map[point]*darco.Result, len(jobs))
+	for i, br := range r.sess.RunBatch(r.ctx(), jobs) {
+		if br.Err != nil {
+			return nil, br.Err
+		}
+		results[points[i]] = br.Result
+	}
+
+	t := stats.NewTable("Figure CC: code cache pressure sweep (cycles and retranslation rate vs. capacity)",
+		"benchmark", "policy", "cc-size", "cycles", "slowdown",
+		"evictions", "flushes", "retrans", "retrans/Kdyn", "cc-peak", "tol%")
+	for _, s := range r.specs {
+		base := results[point{s.Name, "", 0}]
+		addRow := func(policy, size string, res *darco.Result) {
+			slow := 1.0
+			if base.Timing.Cycles > 0 {
+				slow = float64(res.Timing.Cycles) / float64(base.Timing.Cycles)
+			}
+			dyn := float64(res.TOL.DynTotal())
+			rate := 0.0
+			if dyn > 0 {
+				rate = 1000 * float64(res.TOL.Retranslations) / dyn
+			}
+			// Unbounded runs report no occupancy peak (the stat is a
+			// pressure counter); their final occupancy is the peak.
+			peak := res.TOL.CacheOccupancyPeak
+			if peak == 0 {
+				peak = res.CodeCacheInsts
+			}
+			t.AddRow(s.Name, policy, size,
+				fmt.Sprint(res.Timing.Cycles),
+				fmt.Sprintf("%.3f", slow),
+				fmt.Sprint(res.TOL.Evictions),
+				fmt.Sprint(res.TOL.FlushCount),
+				fmt.Sprint(res.TOL.Retranslations),
+				fmt.Sprintf("%.2f", rate),
+				fmt.Sprint(peak),
+				fmt.Sprintf("%.1f", 100*res.Timing.TOLShare()))
+		}
+		addRow("unbounded", "inf", base)
+		for _, pol := range policies {
+			for _, c := range caps {
+				addRow(pol, fmt.Sprint(c), results[point{s.Name, pol, c}])
+			}
+		}
 	}
 	return t, nil
 }

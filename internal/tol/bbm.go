@@ -155,13 +155,16 @@ func (t *Translator) TranslateBB(entry uint32) (*Translation, error) {
 		stubStart = len(e.code)
 	}
 
-	base := t.cc.NextPC()
+	// Allocate first (a bounded cache may evict here), then seal the
+	// exit stubs against the actual placement address.
+	base, err := t.cc.Alloc(len(e.code))
+	if err != nil {
+		return nil, err
+	}
 	if err := e.seal(base); err != nil {
 		return nil, err
 	}
-	if err := t.cc.Place(tr, e.code, bodyStart, stubStart, e.exits); err != nil {
-		return nil, err
-	}
+	t.cc.PlaceAt(base, tr, e.code, bodyStart, stubStart, e.exits)
 	t.LastWork.TableProbes = append(t.LastWork.TableProbes, t.tt.Insert(entry, tr.HostEntry)...)
 	t.LastWork.GuestInsts = len(bb.insts)
 	t.LastWork.HostEmitted = len(e.code)

@@ -1,6 +1,7 @@
 package tol
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/host"
@@ -60,6 +61,19 @@ type ExitInfo struct {
 	Chained     bool   // patched to jump directly to another translation
 }
 
+// chainRef records one incoming patch into a translation: the source
+// translation whose code was patched to jump here, the patched slot,
+// and the original instruction to restore when this translation is
+// evicted. exit is the chained exit descriptor of the source (nil for
+// entry-redirect patches, whose synthetic exit the engine registers
+// after patching and which is deleted again on unlink).
+type chainRef struct {
+	from *Translation
+	pc   uint32
+	orig host.Inst
+	exit *ExitInfo
+}
+
 // Translation is one code-cache entry: a translated basic block or an
 // optimized superblock.
 type Translation struct {
@@ -81,7 +95,23 @@ type Translation struct {
 	// ProfSlot is the profile counter address for BBM instrumentation
 	// (0 for superblocks).
 	ProfSlot uint32
+
+	// incoming lists the chain patches other translations hold into
+	// this one; eviction restores them so no surviving code can jump
+	// into freed cache space.
+	incoming []chainRef
+
+	// lastUse is the eviction-clock stamp of the most recent entry into
+	// this translation (see CodeCache.Touch); the lru-translation
+	// policy orders victims by it.
+	lastUse uint64
 }
+
+// LastUse returns the eviction-clock stamp of the most recent entry
+// into the translation. Placement itself counts as the first touch,
+// so the stamp is always nonzero and unique per translation. Exposed
+// for externally registered eviction policies.
+func (tr *Translation) LastUse() uint64 { return tr.lastUse }
 
 // OwnerComp returns the owner and component attribution for a host PC
 // inside this translation.
@@ -96,39 +126,158 @@ func (tr *Translation) OwnerComp(pc uint32) (timing.Owner, timing.Component) {
 	}
 }
 
+// CacheConfig bounds the translation code cache. The zero value is the
+// classic unbounded arena: translations accumulate until the
+// architectural code-cache region fills, and nothing is ever evicted —
+// the pre-characterization behaviour, kept cycle-identical.
+type CacheConfig struct {
+	// CapacityInsts bounds the cache to this many host instruction
+	// slots (0 = unbounded). Bounded caches evict under pressure via
+	// the configured Policy and the engine transparently retranslates
+	// evicted code on re-entry.
+	CapacityInsts int `json:",omitempty"`
+
+	// Policy names the eviction policy consulted when a bounded cache
+	// cannot fit a new translation: "flush-all" (the classic
+	// co-designed-VM full flush, the default when empty), "fifo-region"
+	// (circular region reclamation), or "lru-translation" (single
+	// least-recently-entered victim). See RegisteredEvictionPolicies.
+	Policy string `json:",omitempty"`
+}
+
+// MinCacheCapacityInsts is the smallest accepted bounded capacity.
+// It does not guarantee that every translation fits — a flags-heavy
+// full-length block can expand well past it — but a translation
+// larger than the whole cache is not fatal: Alloc reports
+// ErrTranslationTooLarge and the engine leaves that block
+// interpreted (see Engine.translateBB), as a real TOL would.
+const MinCacheCapacityInsts = 256
+
+// Validate rejects degenerate cache bounds and unknown policy names.
+func (cc *CacheConfig) Validate() error {
+	if cc.CapacityInsts < 0 {
+		return fmt.Errorf("tol: CacheConfig.CapacityInsts must be >= 0 (got %d)", cc.CapacityInsts)
+	}
+	if cc.CapacityInsts == 0 {
+		if cc.Policy != "" {
+			return fmt.Errorf("tol: cache policy %q requires CapacityInsts > 0 (the unbounded cache never evicts)", cc.Policy)
+		}
+		return nil
+	}
+	if cc.CapacityInsts < MinCacheCapacityInsts {
+		return fmt.Errorf("tol: CacheConfig.CapacityInsts %d below minimum %d (one worst-case translation)",
+			cc.CapacityInsts, MinCacheCapacityInsts)
+	}
+	if cc.CapacityInsts > int(archCapacityInsts) {
+		return fmt.Errorf("tol: CacheConfig.CapacityInsts %d exceeds the architectural code-cache region (%d insts)",
+			cc.CapacityInsts, archCapacityInsts)
+	}
+	if _, err := cc.NewEvictionPolicy(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EvictEvent describes one eviction batch to the OnEvict observer.
+type EvictEvent struct {
+	// Victims are the unlinked translations, in policy order.
+	Victims []*Translation
+	// RestoredPCs are the host PCs of chain patches in surviving
+	// translations that were repaired back to their exit stubs.
+	RestoredPCs []uint32
+	// Flush reports that no translation survived the batch (the cache
+	// was reset to empty — always true for the flush-all policy).
+	Flush bool
+}
+
 // CodeCache stores translated host code at simulated addresses in the
 // code-cache region. It implements host.CodeStore for the functional
 // CPU and supports patching for chaining.
+//
+// Unbounded (NewCodeCache), it is the append-only arena of the
+// original infrastructure. Bounded (NewBoundedCodeCache), it becomes a
+// managed resource: placements that do not fit consult the eviction
+// policy, evicted translations are unlinked from every structure that
+// can reach them (translation table, IBTC, chain patches in surviving
+// code), and the freed extents are reused first-fit.
 type CodeCache struct {
 	insts   []host.Inst
-	top     uint32 // next free slot index
+	top     uint32 // bump-allocation frontier (== len(insts))
 	byEntry map[uint32]*Translation
-	all     []*Translation
+	all     []*Translation // sorted by HostEntry
+
+	// Bounded-cache management. policy == nil means unbounded.
+	capacity uint32
+	policy   EvictionPolicy
+	free     []extent
+	used     int
+	peak     int
+
+	// Lookup structures unlinked on eviction (set by Link).
+	tt *TransTable
+	ib *IBTC
+
+	// useClock drives the lru-translation recency stamps.
+	useClock uint64
+
+	// OnEvict, when non-nil, observes every eviction batch after the
+	// unlinking completed. The engine uses it to bill eviction work
+	// through the cost model and to maintain its statistics.
+	OnEvict func(EvictEvent)
 
 	// Stats.
 	BBCount int
 	SBCount int
 }
 
-// NewCodeCache returns an empty code cache.
+// extent is a free range of instruction slots, [start, end).
+type extent struct {
+	start, end uint32
+}
+
+// NewCodeCache returns an empty unbounded code cache.
 func NewCodeCache() *CodeCache {
 	return &CodeCache{
-		insts:   make([]host.Inst, 0, 1<<16),
-		byEntry: make(map[uint32]*Translation),
+		insts:    make([]host.Inst, 0, 1<<16),
+		byEntry:  make(map[uint32]*Translation),
+		capacity: archCapacityInsts,
 	}
 }
 
-// capacityInsts is the code-cache capacity in instructions.
-const capacityInsts = mem.CodeCacheSize / host.InstBytes
+// NewBoundedCodeCache returns an empty cache bounded per cfg that
+// evicts through the given policy instance. The policy instance must
+// not be shared between caches (policies may be stateful).
+func NewBoundedCodeCache(cfg CacheConfig, policy EvictionPolicy) *CodeCache {
+	c := NewCodeCache()
+	if cfg.CapacityInsts > 0 {
+		c.capacity = uint32(cfg.CapacityInsts)
+		c.policy = policy
+	}
+	return c
+}
+
+// Link connects the cache to the lookup structures that hold
+// references into it, so eviction can unlink them. A nil argument
+// skips that structure (useful in unit tests).
+func (c *CodeCache) Link(tt *TransTable, ib *IBTC) {
+	c.tt, c.ib = tt, ib
+}
+
+// archCapacityInsts is the architectural code-cache region capacity in
+// instructions — the hard bound of the unbounded cache and the ceiling
+// of CacheConfig.CapacityInsts.
+const archCapacityInsts = mem.CodeCacheSize / host.InstBytes
+
+// Capacity returns the effective capacity in instruction slots.
+func (c *CodeCache) Capacity() int { return int(c.capacity) }
+
+// Bounded reports whether the cache evicts under pressure.
+func (c *CodeCache) Bounded() bool { return c.policy != nil }
 
 // PCOf converts an instruction slot index to its host PC.
 func (c *CodeCache) PCOf(slot uint32) uint32 {
 	return mem.CodeCacheBase + slot*host.InstBytes
 }
-
-// NextPC returns the host PC at which the next placed translation will
-// begin; emitters seal their exit-stub offsets against it.
-func (c *CodeCache) NextPC() uint32 { return c.PCOf(c.top) }
 
 // slotOf converts a host PC to a slot index.
 func (c *CodeCache) slotOf(pc uint32) uint32 {
@@ -152,35 +301,231 @@ func (c *CodeCache) InstAt(pc uint32) *host.Inst {
 	return &c.insts[slot]
 }
 
-// Place appends a translation's code to the cache, fixing up its host
-// addresses. The translation's HostEntry/BodyStart/StubStart/Exits must
-// be expressed as offsets (in instructions) before placement; Place
-// rewrites them to absolute PCs.
-func (c *CodeCache) Place(tr *Translation, code []host.Inst,
-	bodyStartIdx, stubStartIdx int, exitsAtIdx map[int]*ExitInfo) error {
-	if uint32(len(c.insts))+uint32(len(code)) > capacityInsts {
-		return fmt.Errorf("tol: code cache full (%d insts)", len(c.insts))
+// Alloc reserves n instruction slots and returns the host PC of the
+// reservation, evicting through the configured policy when a bounded
+// cache is full. Emitters seal their exit-stub offsets against the
+// returned PC before handing the code to PlaceAt.
+func (c *CodeCache) Alloc(n int) (uint32, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("tol: alloc of %d insts", n)
 	}
-	base := c.top
-	c.insts = append(c.insts, code...)
-	c.top += uint32(len(code))
+	if uint32(n) > c.capacity {
+		return 0, fmt.Errorf("%w: %d insts into %d", ErrTranslationTooLarge, n, c.capacity)
+	}
+	for {
+		if slot, ok := c.takeFree(uint32(n)); ok {
+			return c.PCOf(slot), nil
+		}
+		if c.top+uint32(n) <= c.capacity {
+			slot := c.top
+			c.top += uint32(n)
+			c.insts = append(c.insts, make([]host.Inst, n)...)
+			return c.PCOf(slot), nil
+		}
+		if c.policy == nil {
+			return 0, fmt.Errorf("tol: code cache full (%d insts)", len(c.insts))
+		}
+		victims := c.policy.Victims(c, n)
+		if len(victims) == 0 {
+			return 0, fmt.Errorf("tol: eviction policy %q freed nothing for %d insts (occupancy %d/%d)",
+				c.policy.Name(), n, c.used, c.capacity)
+		}
+		if c.Evict(victims) == 0 {
+			return 0, fmt.Errorf("tol: eviction policy %q returned only dead victims", c.policy.Name())
+		}
+	}
+}
 
-	tr.HostEntry = c.PCOf(base)
-	tr.HostEnd = c.PCOf(c.top)
-	tr.BodyStart = c.PCOf(base + uint32(bodyStartIdx))
-	tr.StubStart = c.PCOf(base + uint32(stubStartIdx))
+// takeFree carves n slots from the lowest-addressed free extent that
+// fits (first-fit).
+func (c *CodeCache) takeFree(n uint32) (uint32, bool) {
+	for i := range c.free {
+		e := &c.free[i]
+		if e.end-e.start >= n {
+			slot := e.start
+			e.start += n
+			if e.start == e.end {
+				c.free = append(c.free[:i], c.free[i+1:]...)
+			}
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// addFree returns [start, end) to the free list, keeping it sorted and
+// coalesced.
+func (c *CodeCache) addFree(start, end uint32) {
+	i := 0
+	for i < len(c.free) && c.free[i].start < start {
+		i++
+	}
+	c.free = append(c.free, extent{})
+	copy(c.free[i+1:], c.free[i:])
+	c.free[i] = extent{start, end}
+	// Coalesce with the right neighbour, then the left.
+	if i+1 < len(c.free) && c.free[i].end == c.free[i+1].start {
+		c.free[i].end = c.free[i+1].end
+		c.free = append(c.free[:i+1], c.free[i+2:]...)
+	}
+	if i > 0 && c.free[i-1].end == c.free[i].start {
+		c.free[i-1].end = c.free[i].end
+		c.free = append(c.free[:i], c.free[i+1:]...)
+	}
+}
+
+// PlaceAt installs a translation's code at a PC previously returned by
+// Alloc for exactly len(code) slots, fixing up its host addresses. The
+// translation's HostEntry/BodyStart/StubStart/Exits must be expressed
+// as offsets (in instructions) before placement; PlaceAt rewrites them
+// to absolute PCs.
+func (c *CodeCache) PlaceAt(base uint32, tr *Translation, code []host.Inst,
+	bodyStartIdx, stubStartIdx int, exitsAtIdx map[int]*ExitInfo) {
+	slot := c.slotOf(base)
+	if int(slot)+len(code) > len(c.insts) {
+		panic(fmt.Sprintf("tol: PlaceAt(%#x, %d insts) outside the allocated arena (%d slots)",
+			base, len(code), len(c.insts)))
+	}
+	copy(c.insts[slot:], code)
+
+	tr.HostEntry = base
+	tr.HostEnd = base + uint32(len(code))*host.InstBytes
+	tr.BodyStart = c.PCOf(slot + uint32(bodyStartIdx))
+	tr.StubStart = c.PCOf(slot + uint32(stubStartIdx))
 	tr.Exits = make(map[uint32]*ExitInfo, len(exitsAtIdx))
 	for idx, e := range exitsAtIdx {
-		tr.Exits[c.PCOf(base+uint32(idx))] = e
+		tr.Exits[c.PCOf(slot+uint32(idx))] = e
 	}
 	c.byEntry[tr.HostEntry] = tr
-	c.all = append(c.all, tr)
+	c.insertSorted(tr)
+	c.used += len(code)
+	if c.used > c.peak {
+		c.peak = c.used
+	}
+	c.Touch(tr)
 	if tr.Kind == KindBB {
 		c.BBCount++
 	} else {
 		c.SBCount++
 	}
-	return nil
+}
+
+// insertSorted adds tr to the placement list, keeping it sorted by
+// HostEntry so FindByPC can binary-search.
+func (c *CodeCache) insertSorted(tr *Translation) {
+	lo, hi := 0, len(c.all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.all[mid].HostEntry < tr.HostEntry {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.all = append(c.all, nil)
+	copy(c.all[lo+1:], c.all[lo:])
+	c.all[lo] = tr
+}
+
+// Touch stamps a translation with the current eviction clock; the
+// engine calls it on every entry so the lru-translation policy sees
+// real recency. O(1), no effect on the modeled streams.
+func (c *CodeCache) Touch(tr *Translation) {
+	c.useClock++
+	tr.lastUse = c.useClock
+}
+
+// Evict unlinks the given translations from the cache and from every
+// structure that can reach them: their TransTable entries are deleted,
+// IBTC lines caching their entry points are invalidated, and chain
+// patches from surviving translations are restored to their original
+// exit stubs. Freed slots are poisoned so any dangling jump faults in
+// the functional CPU instead of executing stale code. Returns the
+// number of translations actually evicted (victims no longer live are
+// skipped).
+func (c *CodeCache) Evict(victims []*Translation) int {
+	var evicted []*Translation
+	var ibtcRanges [][2]uint32
+	for _, tr := range victims {
+		if c.byEntry[tr.HostEntry] != tr {
+			continue // already gone (duplicate or stale victim)
+		}
+		delete(c.byEntry, tr.HostEntry)
+		c.removeSorted(tr)
+		if c.tt != nil {
+			c.tt.Delete(tr.GuestEntry, tr.HostEntry)
+		}
+		if c.ib != nil {
+			ibtcRanges = append(ibtcRanges, [2]uint32{tr.HostEntry, tr.HostEnd})
+		}
+		lo, hi := c.slotOf(tr.HostEntry), c.slotOf(tr.HostEnd)
+		for s := lo; s < hi; s++ {
+			c.insts[s] = host.Inst{Op: host.NumOps} // poison: faults on execution
+		}
+		c.addFree(lo, hi)
+		c.used -= int(hi - lo)
+		if tr.Kind == KindBB {
+			c.BBCount--
+		} else {
+			c.SBCount--
+		}
+		evicted = append(evicted, tr)
+	}
+	if len(evicted) == 0 {
+		return 0
+	}
+	if c.ib != nil {
+		c.ib.InvalidateHostRanges(ibtcRanges) // one table pass per batch
+	}
+	// Repair chain patches from survivors into the victims. Victims are
+	// already unindexed, so refs whose source died (in this batch or
+	// earlier) are recognized and skipped.
+	var restored []uint32
+	for _, tr := range evicted {
+		for _, ref := range tr.incoming {
+			if c.byEntry[ref.from.HostEntry] != ref.from {
+				continue
+			}
+			c.insts[c.slotOf(ref.pc)] = ref.orig
+			if ref.exit != nil {
+				ref.exit.Chained = false
+			} else {
+				// Entry-redirect patch (BBM→SBM promotion): drop the
+				// synthetic exit the engine registered on it.
+				delete(ref.from.Exits, ref.pc)
+			}
+			restored = append(restored, ref.pc)
+		}
+		tr.incoming = nil
+	}
+	flush := len(c.all) == 0
+	if flush {
+		// Nothing survived: reset the arena so the bump frontier
+		// restarts at the base (the classic full-flush shape).
+		c.insts = c.insts[:0]
+		c.top = 0
+		c.free = nil
+	}
+	if c.OnEvict != nil {
+		c.OnEvict(EvictEvent{Victims: evicted, RestoredPCs: restored, Flush: flush})
+	}
+	return len(evicted)
+}
+
+// removeSorted deletes tr from the sorted placement list.
+func (c *CodeCache) removeSorted(tr *Translation) {
+	lo, hi := 0, len(c.all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.all[mid].HostEntry < tr.HostEntry {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.all) && c.all[lo] == tr {
+		c.all = append(c.all[:lo], c.all[lo+1:]...)
+	}
 }
 
 // EntryAt returns the translation whose entry point is pc, or nil.
@@ -188,9 +533,8 @@ func (c *CodeCache) EntryAt(pc uint32) *Translation {
 	return c.byEntry[pc]
 }
 
-// FindByPC returns the translation containing pc, or nil. Linear scan
-// over placements is avoided by exploiting contiguous allocation: we
-// binary-search the sorted placement list.
+// FindByPC returns the translation containing pc, or nil, by
+// binary-searching the address-sorted placement list.
 func (c *CodeCache) FindByPC(pc uint32) *Translation {
 	if !c.Contains(pc) {
 		return nil
@@ -210,21 +554,46 @@ func (c *CodeCache) FindByPC(pc uint32) *Translation {
 	return nil
 }
 
+// ErrUnplacedPatch reports a Patch against a slot that no placed
+// translation owns — patching there would scribble on freed or
+// never-allocated cache space.
+var ErrUnplacedPatch = errors.New("tol: patch target not inside a placed translation")
+
+// ErrTranslationTooLarge reports an Alloc request larger than the
+// whole cache capacity, which no amount of eviction can satisfy. The
+// engine treats it as non-fatal: the block stays interpreted.
+var ErrTranslationTooLarge = errors.New("tol: translation exceeds code cache capacity")
+
 // Patch replaces the instruction at host PC with a direct jump to
-// target (chaining). It returns an error if pc is not a valid slot.
+// target (chaining). pc must lie inside a live translation
+// (ErrUnplacedPatch otherwise). When target is the entry of another
+// live translation, the patch is recorded on it so eviction can
+// restore the original instruction.
 func (c *CodeCache) Patch(pc uint32, target uint32) error {
-	slot := c.slotOf(pc)
-	if !c.Contains(pc) || slot >= uint32(len(c.insts)) {
-		return fmt.Errorf("tol: patch outside code cache: %#x", pc)
+	src := c.FindByPC(pc)
+	if src == nil {
+		return fmt.Errorf("%w: %#x", ErrUnplacedPatch, pc)
 	}
+	slot := c.slotOf(pc)
+	orig := c.insts[slot]
 	// jal r0, offset — offset relative to the next instruction.
 	off := int32(target) - int32(pc+host.InstBytes)
 	c.insts[slot] = host.Inst{Op: host.Jal, Rd: host.RZero, Imm: off}
+	if dst := c.byEntry[target]; dst != nil && dst != src {
+		dst.incoming = append(dst.incoming, chainRef{
+			from: src, pc: pc, orig: orig, exit: src.Exits[pc],
+		})
+	}
 	return nil
 }
 
 // UsedInsts returns the number of occupied instruction slots.
-func (c *CodeCache) UsedInsts() int { return len(c.insts) }
+func (c *CodeCache) UsedInsts() int { return c.used }
 
-// Translations returns all placed translations in placement order.
+// OccupancyPeak returns the high-water mark of occupied slots.
+func (c *CodeCache) OccupancyPeak() int { return c.peak }
+
+// Translations returns all placed translations in address order. The
+// returned slice is the cache's own index — callers must not mutate
+// it.
 func (c *CodeCache) Translations() []*Translation { return c.all }

@@ -41,6 +41,17 @@
 // indirect branches probe an inline Indirect Branch Translation Cache
 // (IBTC); both mechanisms avoid falling back to TOL.
 //
+// The code cache holding the translations is a managed resource: left
+// unbounded (the default) it only ever grows, but Config.Cache can
+// bound it, in which case an eviction policy (flush-all, fifo-region
+// or lru-translation — see EvictionPolicy and
+// RegisteredEvictionPolicies) selects victims under pressure. Eviction
+// unlinks a translation everywhere it is reachable — translation
+// table, IBTC lines, and chain patches in surviving code — and the
+// engine transparently retranslates on re-entry, counting the
+// lifecycle churn in Stats (Evictions, Retranslations, FlushCount,
+// CacheOccupancyPeak).
+//
 // TOL's own work — interpreting, translating, optimizing, looking up
 // the code cache, chaining — is rendered into host instruction streams
 // by the cost model (cost.go) with real simulated addresses, so the
@@ -86,6 +97,13 @@ type Config struct {
 	// MaxSBBlocks and MaxSBGuestInsts bound superblock formation.
 	MaxSBBlocks     int
 	MaxSBGuestInsts int
+
+	// Cache bounds the translation code cache and selects the eviction
+	// policy consulted under pressure (see CacheConfig and
+	// RegisteredEvictionPolicies). The zero value is the unbounded
+	// cache: no eviction ever happens and behaviour is cycle-identical
+	// to the pre-bounded infrastructure.
+	Cache CacheConfig
 
 	// Cosim enables continuous co-simulation: an authoritative guest
 	// emulator runs in lockstep and architectural state is compared at
@@ -155,6 +173,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("tol: empty optimization pipeline with SBM enabled; disable SBM (ApplyOptLevel(cfg, 0) does both)")
 	}
 	if _, err := c.NewPromotionPolicy(); err != nil {
+		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
 		return err
 	}
 	return nil

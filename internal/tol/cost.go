@@ -40,6 +40,9 @@ const (
 	costChainALU      = 9  // patch computation around the code store
 	costIBTCFillALU   = 6
 
+	costEvictFixed    = 28 // eviction entry/exit bookkeeping
+	costEvictPerTrans = 10 // per-victim descriptor walk + table clear ALU
+
 	costBBMPerGuestInst = 26 // decode + IR + emit ALU work per guest inst
 	costBBMPerHostInst  = 4  // per emitted host instruction (incl. store)
 	costBBMFixed        = 90
@@ -266,6 +269,29 @@ func (c *costEmitter) Chain(patchPC uint32) {
 	pc = c.load(timing.CompChaining, pc, patchPC)
 	pc = c.aluN(timing.CompChaining, pc, costChainALU-costChainALU/2)
 	c.store(timing.CompChaining, pc, patchPC)
+}
+
+// Evict emits the cost of one code-cache eviction batch, attributed to
+// "TOL others" like the rest of the cache-management glue: per victim,
+// the translation descriptor is read and its translation-table slot is
+// cleared (a store at the slot's real simulated address); per repaired
+// chain patch, the patched code-cache slot is read and rewritten — the
+// chaining-repair traffic that makes eviction expensive for
+// well-connected code. Retranslation itself is billed by the normal
+// BBM/SBM streams when the evicted code is rebuilt on re-entry.
+func (c *costEmitter) Evict(victims []*Translation, restoredPCs []uint32) {
+	pc := evictText
+	pc = c.aluN(timing.CompTOLOther, pc, costEvictFixed/2)
+	for _, tr := range victims {
+		pc = c.load(timing.CompTOLOther, pc, descAddr(tr.HostEntry))
+		pc = c.aluN(timing.CompTOLOther, pc, costEvictPerTrans-2)
+		pc = c.store(timing.CompTOLOther, pc, transSlotAddr(hashGuest(tr.GuestEntry)&transTableMask))
+	}
+	for _, patch := range restoredPCs {
+		pc = c.load(timing.CompTOLOther, pc, patch)
+		pc = c.store(timing.CompTOLOther, pc, patch)
+	}
+	c.aluN(timing.CompTOLOther, pc, costEvictFixed-costEvictFixed/2)
 }
 
 // IBTCFill emits the IBTC update after a lookup served an indirect

@@ -1,6 +1,7 @@
 package tol
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/guest"
@@ -47,6 +48,10 @@ type Engine struct {
 	promoted map[uint32]*Translation
 	policy   PromotionPolicy
 
+	// evicted remembers guest entries whose translation was evicted at
+	// least once, so rebuilding one counts as a retranslation.
+	evicted map[uint32]bool
+
 	Stats Stats
 }
 
@@ -77,6 +82,12 @@ func NewEngine(cfg Config, p *guest.Program) *Engine {
 		e.fail("%v", err)
 		return e
 	}
+	if e.Cfg.Cache.CapacityInsts > 0 {
+		evp, _ := e.Cfg.Cache.NewEvictionPolicy() // validated above
+		e.CC = NewBoundedCodeCache(e.Cfg.Cache, evp)
+	}
+	e.CC.Link(e.TT, e.IB)
+	e.CC.OnEvict = e.onEvict
 	e.policy, _ = e.Cfg.NewPromotionPolicy() // validated above
 	e.Trans, _ = NewTranslator(&e.Cfg, e.policy, e.CC, e.TT, e.Prof, e.GuestV)
 	e.cost = newCostEmitter(&e.queue)
@@ -218,14 +229,48 @@ func (e *Engine) stepIM() {
 	}
 }
 
-// translateBB runs the BBM translator for the block at guest address g.
+// onEvict observes one code-cache eviction batch: it maintains the
+// pressure statistics, forgets evicted superblocks so promotion can
+// rebuild them, and bills the unlink work through the cost model.
+func (e *Engine) onEvict(ev EvictEvent) {
+	e.Stats.Evictions += uint64(len(ev.Victims))
+	if ev.Flush {
+		e.Stats.FlushCount++
+	}
+	if e.evicted == nil {
+		e.evicted = make(map[uint32]bool)
+	}
+	for _, tr := range ev.Victims {
+		e.evicted[tr.GuestEntry] = true
+		if tr.Kind == KindSB {
+			delete(e.promoted, tr.GuestEntry)
+		}
+	}
+	e.cost.Evict(ev.Victims, ev.RestoredPCs)
+}
+
+// translateBB runs the BBM translator for the block at guest address
+// g. A block whose translation exceeds the whole bounded cache is not
+// fatal: it stays interpreted and its profile counter is reset so TOL
+// backs off before trying again.
 func (e *Engine) translateBB(g uint32) *Translation {
+	wasEvicted := e.evicted[g]
 	tr, err := e.Trans.TranslateBB(g)
 	if err != nil {
+		if errors.Is(err, ErrTranslationTooLarge) {
+			e.Prof.Reset(g)
+			return nil
+		}
 		e.fail("tol: bbm: %v", err)
 		return nil
 	}
 	e.Stats.BBTranslated++
+	if wasEvicted {
+		e.Stats.Retranslations++
+	}
+	if e.CC.Bounded() {
+		e.Stats.CacheOccupancyPeak = e.CC.OccupancyPeak()
+	}
 	for _, pc := range tr.GuestPCs {
 		e.Stats.markStatic(pc, ModeBBM)
 	}
@@ -233,14 +278,26 @@ func (e *Engine) translateBB(g uint32) *Translation {
 	return tr
 }
 
-// buildSB runs the SBM optimizer seeded at guest address g.
+// buildSB runs the SBM optimizer seeded at guest address g. A
+// superblock larger than the whole bounded cache is not fatal: it
+// returns nil without setting the run error, and handlePromote keeps
+// executing the BBM block (like the SBM-disabled path).
 func (e *Engine) buildSB(g uint32) *Translation {
+	wasEvicted := e.evicted[g]
 	tr, err := e.Trans.BuildSuperblock(g)
 	if err != nil {
-		e.fail("tol: sbm: %v", err)
+		if !errors.Is(err, ErrTranslationTooLarge) {
+			e.fail("tol: sbm: %v", err)
+		}
 		return nil
 	}
 	e.Stats.SBCreated++
+	if wasEvicted {
+		e.Stats.Retranslations++
+	}
+	if e.CC.Bounded() {
+		e.Stats.CacheOccupancyPeak = e.CC.OccupancyPeak()
+	}
 	for _, pc := range tr.GuestPCs {
 		e.Stats.markStatic(pc, ModeSBM)
 	}
@@ -258,6 +315,7 @@ func (e *Engine) enterTranslated(hostEntry uint32) {
 		return
 	}
 	e.syncCPUFromState()
+	e.CC.Touch(tr)
 	e.cost.ResumeJump(hostEntry)
 	e.CPU.PC = hostEntry
 	e.curTrans = tr
@@ -297,6 +355,7 @@ func (e *Engine) runTranslated() {
 					return
 				}
 				e.curTrans = tr
+				e.CC.Touch(tr)
 				if e.budgetExceeded() {
 					return
 				}
@@ -404,20 +463,32 @@ func (e *Engine) handlePromote(info *ExitInfo) {
 		}
 		sb = e.buildSB(seed)
 		if sb == nil {
+			if e.err == nil {
+				// Superblock larger than the whole cache: give up on
+				// promotion for now (reset the counter so the threshold
+				// must be earned again) and continue in BBM.
+				e.Prof.Reset(seed)
+				e.resumeAt(bbTrans.HostEntry)
+			}
 			return
 		}
 		e.promoted[seed] = sb
 		// Redirect the BBM block to the superblock: patch its first
-		// instruction and register a zero-retire exit on it.
-		if err := e.CC.Patch(bbTrans.HostEntry, sb.HostEntry); err != nil {
-			e.fail("tol: promote patch: %v", err)
-			return
+		// instruction and register a zero-retire exit on it. Placing the
+		// superblock may have evicted the BBM block itself; then there
+		// is nothing left to redirect (a future miss on seed finds the
+		// superblock through the translation table).
+		if e.CC.EntryAt(bbTrans.HostEntry) == bbTrans {
+			if err := e.CC.Patch(bbTrans.HostEntry, sb.HostEntry); err != nil {
+				e.fail("tol: promote patch: %v", err)
+				return
+			}
+			bbTrans.Exits[bbTrans.HostEntry] = &ExitInfo{
+				Reason: ExitTaken, Retired: 0, GuestTarget: seed, Chained: true,
+			}
+			e.Stats.Chains++
+			e.cost.Chain(bbTrans.HostEntry)
 		}
-		bbTrans.Exits[bbTrans.HostEntry] = &ExitInfo{
-			Reason: ExitTaken, Retired: 0, GuestTarget: seed, Chained: true,
-		}
-		e.Stats.Chains++
-		e.cost.Chain(bbTrans.HostEntry)
 	}
 	e.resumeAt(sb.HostEntry)
 }
@@ -474,7 +545,10 @@ func (e *Engine) handleStaticExit(pc uint32, info *ExitInfo) {
 		e.gs = e.stateFromCPU(target)
 		return
 	}
-	if e.Cfg.EnableChaining && !info.Chained {
+	// Chain the exit — unless the source translation was evicted while
+	// translating the target, in which case its exit slot is gone (and
+	// may already hold other code).
+	if e.Cfg.EnableChaining && !info.Chained && e.CC.EntryAt(e.curTrans.HostEntry) == e.curTrans {
 		if err := e.CC.Patch(pc, entry); err != nil {
 			e.fail("tol: chain: %v", err)
 			return
@@ -495,6 +569,7 @@ func (e *Engine) resumeAt(hostEntry uint32) {
 		e.fail("tol: resume at %#x: no translation", hostEntry)
 		return
 	}
+	e.CC.Touch(tr)
 	e.cost.ResumeJump(hostEntry)
 	e.curTrans = tr
 	e.CPU.PC = hostEntry

@@ -54,3 +54,38 @@ func (c *IBTC) Invalidate(target uint32) {
 		c.m.Write32(addr+4, 0)
 	}
 }
+
+// InvalidateHostRanges clears every line whose cached host entry falls
+// in any of the given [lo, hi) ranges — the unlink step of code-cache
+// eviction, which must leave no line pointing into freed cache space.
+// One pass over the table serves a whole eviction batch. Returns the
+// number of lines cleared. (Empty lines cache host entry 0, far below
+// the code-cache region, so they are never matched.)
+func (c *IBTC) InvalidateHostRanges(ranges [][2]uint32) int {
+	if len(ranges) == 0 {
+		return 0
+	}
+	n := 0
+	for i := uint32(0); i < IBTCEntries; i++ {
+		addr := ibtcSlotAddr(i)
+		he := c.m.Read32(addr + 4)
+		if he == 0 {
+			continue
+		}
+		for _, r := range ranges {
+			if he >= r[0] && he < r[1] {
+				c.m.Write32(addr, 0)
+				c.m.Write32(addr+4, 0)
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// InvalidateHostRange clears every line whose cached host entry falls
+// in [lo, hi).
+func (c *IBTC) InvalidateHostRange(lo, hi uint32) int {
+	return c.InvalidateHostRanges([][2]uint32{{lo, hi}})
+}

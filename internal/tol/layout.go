@@ -20,6 +20,7 @@ const (
 	lookupText    = mem.TOLCodeBase + 0x2_0000 // code cache lookup
 	chainText     = mem.TOLCodeBase + 0x2_1000 // chaining/patching
 	ibtcFillText  = mem.TOLCodeBase + 0x2_2000 // IBTC miss service
+	evictText     = mem.TOLCodeBase + 0x2_3000 // code cache eviction/unlink
 )
 
 // interpHandlerText returns the text base of the interpreter handler

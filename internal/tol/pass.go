@@ -70,9 +70,15 @@ var (
 	passOrder    []string
 )
 
-// registerPass adds a pass to the registry. Names must be unique and
-// free of pipeline-spec metacharacters.
-func registerPass(p Pass) {
+// RegisterPass adds a pass to the registry, making its name available
+// to pipeline specs and the O-level presets. Names must be unique and
+// free of pipeline-spec metacharacters. Because Pass.Run operates on
+// the package's unexported trace plan, new passes are implemented
+// inside this package (the registry exists for selection and
+// ordering); RegisterPass is exported for API symmetry with
+// RegisterEvictionPolicy and RegisteredPromotionPolicies and is
+// normally called from an init function.
+func RegisterPass(p Pass) {
 	name := p.Name()
 	if name == "" || name == PassesNone || strings.ContainsAny(name, ", \t") {
 		panic(fmt.Sprintf("tol: invalid pass name %q", name))
@@ -85,10 +91,10 @@ func registerPass(p Pass) {
 }
 
 func init() {
-	registerPass(constPropPass{})
-	registerPass(dcePass{})
-	registerPass(rlePass{})
-	registerPass(schedPass{})
+	RegisterPass(constPropPass{})
+	RegisterPass(dcePass{})
+	RegisterPass(rlePass{})
+	RegisterPass(schedPass{})
 }
 
 // RegisteredPasses returns the names of all registered passes in

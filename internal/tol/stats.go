@@ -50,6 +50,19 @@ type Stats struct {
 	CosimChecks    uint64 `json:"cosim_checks"`
 	InterpBranches uint64 `json:"interp_branches"`
 
+	// Code-cache pressure counters (all zero with the unbounded cache).
+	// Evictions counts translations removed by the eviction policy;
+	// Retranslations counts translations rebuilt for a guest entry that
+	// was evicted earlier (BBM and SBM alike); FlushCount counts
+	// eviction batches that left the cache empty (every flush-all
+	// eviction, and complete reclamation under the other policies);
+	// CacheOccupancyPeak is the high-water mark of occupied
+	// instruction slots.
+	Evictions          uint64 `json:"evictions,omitempty"`
+	Retranslations     uint64 `json:"retranslations,omitempty"`
+	FlushCount         uint64 `json:"flush_count,omitempty"`
+	CacheOccupancyPeak int    `json:"cache_occupancy_peak,omitempty"`
+
 	// SBPasses aggregates the optimizer's work per pass across all SBM
 	// invocations, keyed by pass name in first-run order — the data
 	// behind the "SBM time by pass" breakdown (Figure-7 refinement).
@@ -166,6 +179,11 @@ type Summary struct {
 	Transitions  uint64 `json:"transitions"`
 	CosimChecks  uint64 `json:"cosim_checks"`
 
+	Evictions          uint64 `json:"evictions,omitempty"`
+	Retranslations     uint64 `json:"retranslations,omitempty"`
+	FlushCount         uint64 `json:"flush_count,omitempty"`
+	CacheOccupancyPeak int    `json:"cache_occupancy_peak,omitempty"`
+
 	// SBPasses is the per-pass SBM work breakdown (pipeline order);
 	// SBOtherInsts is the non-pass remainder of the SBM cost stream, so
 	// per-pass shares can be normalized from the digest alone.
@@ -193,6 +211,12 @@ func (s *Stats) Summary() Summary {
 		Lookups:      s.Lookups,
 		Transitions:  s.Transitions,
 		CosimChecks:  s.CosimChecks,
+
+		Evictions:          s.Evictions,
+		Retranslations:     s.Retranslations,
+		FlushCount:         s.FlushCount,
+		CacheOccupancyPeak: s.CacheOccupancyPeak,
+
 		SBPasses:     append([]PassStat(nil), s.SBPasses...),
 		SBOtherInsts: s.SBOtherInsts,
 	}

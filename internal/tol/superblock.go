@@ -593,14 +593,19 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 		e.exitStub(s.info)
 	}
 
-	base := t.cc.NextPC()
+	// Allocate first (a bounded cache may evict here), then seal the
+	// exit stubs against the actual placement address.
+	base, err := t.cc.Alloc(len(e.code))
+	if err != nil {
+		return nil, err
+	}
 	if err := e.seal(base); err != nil {
 		return nil, err
 	}
 
 	// Host-stage passes (instruction scheduling) on the sealed code.
-	// Scheduling preserves branch positions, so exit indices remain
-	// valid.
+	// Scheduling preserves branch positions and code length, so exit
+	// indices and the allocation both remain valid.
 	plan.code = e
 	for _, p := range t.pipeline {
 		if p.Stage() == StageHost {
@@ -608,9 +613,7 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 		}
 	}
 
-	if err := t.cc.Place(tr, e.code, 0, stubStart, e.exits); err != nil {
-		return nil, err
-	}
+	t.cc.PlaceAt(base, tr, e.code, 0, stubStart, e.exits)
 	t.LastWork.TableProbes = append(t.LastWork.TableProbes, t.tt.Insert(seed, tr.HostEntry)...)
 	t.LastWork.GuestInsts = len(plan.insts)
 	t.LastWork.HostEmitted = len(e.code)

@@ -10,15 +10,26 @@ import "fmt"
 // real. The table mirrors the paper's description of the code cache
 // lookup as "a table that maps x86 instruction pointers to the position
 // in the code cache where the translation is stored".
+//
+// Deletion (code-cache eviction) uses tombstones, as linear probing
+// requires: a deleted slot keeps its place in probe chains but can be
+// reclaimed by a later insert. Tombstones lengthen probe chains until
+// reuse — a real cost the lookup stream carries.
 type TransTable struct {
-	keys [transTableEntries]uint32 // guest IP + 1 (0 = empty)
+	keys [transTableEntries]uint32 // guest IP + 1 (0 = empty, ^0 = tombstone)
 	vals [transTableEntries]uint32 // host entry PC
-	used int
+	live int                       // live entries
+	occ  int                       // live + tombstones (probe-chain load)
 
 	// probeBuf records the slot indices touched by the last operation,
 	// consumed by the cost model.
 	probeBuf []uint32
 }
+
+// ttTombstone marks a deleted slot. It can never collide with a live
+// key: keys store the guest IP + 1, and guest code lives far below
+// 0xFFFFFFFE.
+const ttTombstone = ^uint32(0)
 
 // NewTransTable returns an empty translation table.
 func NewTransTable() *TransTable {
@@ -40,6 +51,7 @@ func (t *TransTable) Lookup(g uint32) (hostEntry uint32, ok bool, probes []uint3
 		if k == g+1 {
 			return t.vals[idx], true, t.probeBuf
 		}
+		// Mismatch or tombstone: keep probing.
 		idx = (idx + 1) & transTableMask
 		if len(t.probeBuf) > transTableEntries {
 			panic("tol: translation table full loop")
@@ -47,21 +59,33 @@ func (t *TransTable) Lookup(g uint32) (hostEntry uint32, ok bool, probes []uint3
 	}
 }
 
-// Insert adds or replaces the mapping for guest address g. The probe
+// Insert adds or replaces the mapping for guest address g, reusing the
+// first tombstone on the probe path when the key is new. The probe
 // slice lists slots touched.
 func (t *TransTable) Insert(g, hostEntry uint32) (probes []uint32) {
 	t.probeBuf = t.probeBuf[:0]
-	if t.used >= transTableEntries*3/4 {
-		panic(fmt.Sprintf("tol: translation table over capacity (%d entries)", t.used))
+	if t.occ >= transTableEntries*3/4 {
+		panic(fmt.Sprintf("tol: translation table over capacity (%d entries)", t.occ))
 	}
 	idx := hashGuest(g) & transTableMask
+	reuse := int64(-1)
 	for {
 		t.probeBuf = append(t.probeBuf, idx)
 		k := t.keys[idx]
-		if k == 0 || k == g+1 {
-			if k == 0 {
-				t.used++
+		if k == g+1 {
+			t.vals[idx] = hostEntry
+			return t.probeBuf
+		}
+		if k == ttTombstone && reuse < 0 {
+			reuse = int64(idx)
+		}
+		if k == 0 {
+			if reuse >= 0 {
+				idx = uint32(reuse)
+			} else {
+				t.occ++
 			}
+			t.live++
 			t.keys[idx] = g + 1
 			t.vals[idx] = hostEntry
 			return t.probeBuf
@@ -70,5 +94,31 @@ func (t *TransTable) Insert(g, hostEntry uint32) (probes []uint32) {
 	}
 }
 
+// Delete removes the mapping for guest address g, but only if it still
+// points at hostEntry — a guest address whose basic block was
+// superseded (e.g. a superblock replaced the BB entry) keeps its newer
+// mapping when the old translation is evicted. Reports whether a
+// mapping was removed.
+func (t *TransTable) Delete(g, hostEntry uint32) bool {
+	idx := hashGuest(g) & transTableMask
+	for n := 0; n <= transTableEntries; n++ {
+		k := t.keys[idx]
+		if k == 0 {
+			return false
+		}
+		if k == g+1 {
+			if t.vals[idx] != hostEntry {
+				return false
+			}
+			t.keys[idx] = ttTombstone
+			t.vals[idx] = 0
+			t.live--
+			return true
+		}
+		idx = (idx + 1) & transTableMask
+	}
+	return false
+}
+
 // Len returns the number of live entries.
-func (t *TransTable) Len() int { return t.used }
+func (t *TransTable) Len() int { return t.live }

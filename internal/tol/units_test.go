@@ -127,9 +127,11 @@ func TestCodeCachePlaceAndFind(t *testing.T) {
 	cc := NewCodeCache()
 	tr := &Translation{Kind: KindBB, GuestEntry: 0x8048000, GuestLen: 3}
 	code := []host.Inst{{Op: host.Nop}, {Op: host.Addi, Rd: 1, Rs1: 1, Imm: 1}, {Op: host.Jal}}
-	if err := cc.Place(tr, code, 0, 2, map[int]*ExitInfo{2: {Reason: ExitTaken}}); err != nil {
+	base, err := cc.Alloc(len(code))
+	if err != nil {
 		t.Fatal(err)
 	}
+	cc.PlaceAt(base, tr, code, 0, 2, map[int]*ExitInfo{2: {Reason: ExitTaken}})
 	if tr.HostEntry != mem.CodeCacheBase {
 		t.Fatalf("entry = %#x", tr.HostEntry)
 	}
