@@ -7,9 +7,16 @@
 //	darco-figs                  # all figures, full catalog
 //	darco-figs -fig 6           # one figure
 //	darco-figs -fig cc          # cache-pressure sweep (not part of "all")
+//	darco-figs -fig phase       # phase-behaviour sweep (not part of "all")
+//	darco-figs -fig phase -phases 6 -phase-cap 1024
 //	darco-figs -scale 2 -csv
 //	darco-figs -jobs 8          # parallel figure regeneration
 //	darco-figs -from a.json,b.json  # reuse darco-suite -json results
+//	darco-figs -fig 6 -workload trace:run.trace.json  # replayed workloads
+//
+// -benchmarks and -workload both take workload Source-registry
+// references ("<source>:<name>"; bare names mean the synthetic
+// catalog); -workload appends to the -benchmarks selection.
 //
 // Simulation goes through a darco.Session worker pool (-jobs); the
 // engine is deterministic, so the regenerated tables are identical for
@@ -34,13 +41,16 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 7b, 8, 9, 10, 11, cc, all ('all' excludes the cc sweep)")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 7b, 8, 9, 10, 11, cc, phase, all ('all' excludes the cc and phase sweeps)")
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
 	csv := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON")
 	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
 	quiet := flag.Bool("q", false, "suppress progress output")
-	benches := flag.String("benchmarks", "", "comma-separated subset of benchmarks")
+	benches := flag.String("benchmarks", "", "comma-separated subset of benchmarks (workload references)")
+	workloadFlag := flag.String("workload", "", "comma-separated workload references (<source>:<name>) appended to -benchmarks")
+	phases := flag.Int("phases", 0, "largest composite of the -fig phase sweep (0 = default)")
+	phaseCap := flag.Int("phase-cap", 0, "bounded code-cache capacity of the -fig phase sweep in instruction slots (0 = default)")
 	passes := flag.String("passes", "", "SBM optimization pipeline (comma-separated pass names; 'none' = empty)")
 	optLevel := flag.Int("O", -1, "optimization preset 0..3 (-1 = default O2; 0 disables SBM)")
 	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
@@ -76,6 +86,9 @@ func main() {
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *workloadFlag != "" {
+		opts.Benchmarks = append(opts.Benchmarks, strings.Split(*workloadFlag, ",")...)
 	}
 	if *from != "" {
 		for _, path := range strings.Split(*from, ",") {
@@ -180,6 +193,15 @@ func main() {
 	// with -benchmarks for quick sweeps.
 	if *fig == "cc" {
 		t, err := r.FigCC(nil)
+		if err != nil {
+			die(err)
+		}
+		emit(t)
+	}
+	// The phase sweep simulates composites of growing length, so it is
+	// opt-in too; -benchmarks restricts the member pool.
+	if *fig == "phase" {
+		t, err := r.FigPhase(*phases, *phaseCap)
 		if err != nil {
 			die(err)
 		}

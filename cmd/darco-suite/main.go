@@ -8,6 +8,12 @@
 //	darco-suite -O 1 -promote adaptive     # sweep under an ablated TOL config
 //	darco-suite -passes constprop,dce,sched
 //	darco-suite -cc-size 1024 -cc-policy flush-all  # bounded code cache
+//	darco-suite -workload trace:run.trace.json,phased:401.bzip2+470.lbm
+//
+// -workload adds programs by Source-registry reference
+// ("<source>:<name>") to the selected set; given alone it replaces the
+// catalog, so a suite run over only traces or composites needs no
+// other flag.
 //
 // Benchmarks execute concurrently on a darco.Session worker pool
 // (-jobs); the engine is deterministic, so the table is identical for
@@ -46,6 +52,7 @@ func main() {
 	ccSize := flag.Int("cc-size", 0, "bound the code cache to this many instruction slots (0 = unbounded)")
 	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	workloadFlag := flag.String("workload", "", "comma-separated workload references (<source>:<name>) added to the selection")
 	verbose := flag.Bool("v", false, "progress to stderr")
 	flag.Parse()
 
@@ -55,29 +62,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	specs := workload.Catalog()
-	if *suite != "" {
-		m := map[string]workload.Suite{
-			"int": workload.SPECInt, "fp": workload.SPECFP,
-			"physics": workload.Physics, "media": workload.Media,
-		}
-		su, ok := m[strings.ToLower(*suite)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
-			os.Exit(2)
-		}
-		specs = workload.BySuite(su)
-	}
-	if *bench != "" {
+	var specs []workload.Spec
+	switch {
+	case *bench != "":
 		s, err := workload.ByName(*bench)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		specs = []workload.Spec{s}
+	case *suite != "":
+		su, err := workload.ParseSuite(*suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "darco-suite:", err)
+			os.Exit(2)
+		}
+		specs = workload.BySuite(su)
+	case *workloadFlag == "":
+		specs = workload.Catalog()
 	}
-	for i := range specs {
-		specs[i] = specs[i].Scale(*scale)
+	refs := make([]string, 0, len(specs))
+	for _, s := range specs {
+		refs = append(refs, "synthetic:"+s.Name)
+	}
+	if *workloadFlag != "" {
+		for _, ref := range strings.Split(*workloadFlag, ",") {
+			refs = append(refs, strings.TrimSpace(ref))
+		}
 	}
 
 	cfg := darco.DefaultConfig()
@@ -102,8 +113,13 @@ func main() {
 	}
 	sess := darco.NewSession(sessOpts...)
 	var sessJobs []darco.Job
-	for _, s := range specs {
-		sessJobs = append(sessJobs, darco.JobForSpec(s, *scale, darco.WithConfig(cfg)))
+	for _, ref := range refs {
+		job, err := darco.WithWorkload(ref, *scale, darco.WithConfig(cfg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "darco-suite:", err)
+			os.Exit(2)
+		}
+		sessJobs = append(sessJobs, job)
 	}
 	batch := sess.RunBatch(ctx, sessJobs)
 
@@ -114,8 +130,13 @@ func main() {
 	var records []darco.Record
 	var failures []error
 	for i, br := range batch {
-		s := specs[i]
-		records = append(records, darco.NewRecord(s.Name, s.Suite.String(), *scale, mode, br.Result, br.Err))
+		prog := sessJobs[i].Program
+		meta := prog.Meta()
+		suiteLabel := meta.Suite
+		if suiteLabel == "" {
+			suiteLabel = meta.Source
+		}
+		records = append(records, darco.NewRecord(prog.Name(), meta.Suite, *scale, mode, br.Result, br.Err))
 		if br.Err != nil {
 			failures = append(failures, br.Err)
 			continue
@@ -129,7 +150,7 @@ func main() {
 		comp := func(c timing.Component) string {
 			return fmt.Sprintf("%.1f", 100*res.Timing.ComponentCycles(c)/cyc)
 		}
-		t.AddRow(s.Name, s.Suite.String(),
+		t.AddRow(prog.Name(), suiteLabel,
 			fmt.Sprint(res.GuestDyn()),
 			fmt.Sprint(res.TOL.StaticTotal()),
 			fmt.Sprintf("%.0f", res.DynamicStaticRatio()),
@@ -157,7 +178,7 @@ func main() {
 	}
 
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "\n%d of %d benchmarks failed:\n", len(failures), len(specs))
+		fmt.Fprintf(os.Stderr, "\n%d of %d benchmarks failed:\n", len(failures), len(sessJobs))
 		for _, err := range failures {
 			// Session errors already carry the benchmark name.
 			fmt.Fprintf(os.Stderr, "  %v\n", err)

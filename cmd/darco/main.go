@@ -1,4 +1,4 @@
-// Command darco runs one or more benchmarks (or a catalog listing)
+// Command darco runs one or more workloads (or a catalog listing)
 // through the full simulation infrastructure and prints the detailed
 // result: the execution-time breakdown, TOL component split,
 // cache/branch statistics and co-design activity counters.
@@ -7,13 +7,20 @@
 //
 //	darco -bench 400.perlbench [-scale f] [-mode shared|app-only|tol-only|split]
 //	darco -bench 400.perlbench,470.lbm -jobs 4 -json
+//	darco -workload phased:401.bzip2+462.libquantum -cc-size 2048
+//	darco -workload file:mybench.json                     # JSON-defined spec
+//	darco -bench 470.lbm -record lbm.trace.json           # record a trace...
+//	darco -workload trace:lbm.trace.json -O 1             # ...replay it anywhere
 //	darco -bench 470.lbm -passes constprop,dce,sched      # ablate one pass
 //	darco -bench 470.lbm -O 1 -promote adaptive           # preset + policy
 //	darco -bench 470.lbm -cc-size 512 -cc-policy lru-translation
 //	darco -list
 //	darco -print-config
 //
-// With several comma-separated benchmarks the runs execute
+// Workloads are selected by reference through the workload Source
+// registry: -workload takes "<source>:<name>" references (synthetic:,
+// file:, trace:, phased:), and -bench remains the shorthand for
+// synthetic catalog names. With several workloads the runs execute
 // concurrently on a darco.Session worker pool (-jobs); the engine is
 // deterministic, so the results are identical to sequential runs.
 // -json emits an array of darco.Record (full results included), the
@@ -37,6 +44,8 @@ import (
 
 func main() {
 	bench := flag.String("bench", "", "comma-separated benchmark names (see -list)")
+	workloadFlag := flag.String("workload", "", "comma-separated workload references (<source>:<name>; sources: "+strings.Join(workload.Sources(), ", ")+")")
+	record := flag.String("record", "", "record the selected workload's guest image to this trace file (replay with -workload trace:<file>); requires exactly one workload")
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
 	modeFlag := flag.String("mode", timing.ModeShared.String(), "timing mode: shared, app-only, tol-only, split")
 	list := flag.Bool("list", false, "list catalog benchmarks and exit")
@@ -61,10 +70,11 @@ func main() {
 		for _, s := range workload.Catalog() {
 			fmt.Printf("%-22s %s\n", s.Name, s.Suite)
 		}
+		fmt.Printf("\nworkload sources: %s\n", strings.Join(workload.Sources(), ", "))
 		return
 	}
-	if *bench == "" {
-		fmt.Fprintln(os.Stderr, "darco: -bench required (or -list / -print-config)")
+	if *bench == "" && *workloadFlag == "" {
+		fmt.Fprintln(os.Stderr, "darco: -bench or -workload required (or -list / -print-config)")
 		os.Exit(2)
 	}
 
@@ -89,31 +99,51 @@ func main() {
 		os.Exit(2)
 	}
 
-	var specs []workload.Spec
-	for _, name := range strings.Split(*bench, ",") {
-		spec, err := workload.ByName(strings.TrimSpace(name))
+	var refs []string
+	if *bench != "" {
+		for _, name := range strings.Split(*bench, ",") {
+			refs = append(refs, "synthetic:"+strings.TrimSpace(name))
+		}
+	}
+	if *workloadFlag != "" {
+		for _, ref := range strings.Split(*workloadFlag, ",") {
+			refs = append(refs, strings.TrimSpace(ref))
+		}
+	}
+	var sessJobs []darco.Job
+	for _, ref := range refs {
+		job, err := darco.WithWorkload(ref, *scale, darco.WithConfig(cfg))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		specs = append(specs, spec.Scale(*scale))
+		sessJobs = append(sessJobs, job)
+	}
+
+	if *record != "" {
+		if len(sessJobs) != 1 {
+			fmt.Fprintf(os.Stderr, "darco: -record captures exactly one workload, got %d\n", len(sessJobs))
+			os.Exit(2)
+		}
+		if err := workload.RecordTrace(*record, sessJobs[0].Program); err != nil {
+			fmt.Fprintln(os.Stderr, "darco:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %s -> %s (replay with -workload trace:%s)\n",
+			sessJobs[0].Program.Name(), *record, *record)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	sess := darco.NewSession(darco.WithWorkers(*jobs))
-	var sessJobs []darco.Job
-	for _, s := range specs {
-		sessJobs = append(sessJobs, darco.JobForSpec(s, *scale, darco.WithConfig(cfg)))
-	}
 	batch := sess.RunBatch(ctx, sessJobs)
 
 	var records []darco.Record
 	failed := 0
 	for i, br := range batch {
-		spec := specs[i]
-		records = append(records, darco.NewRecord(spec.Name, spec.Suite.String(), *scale, mode, br.Result, br.Err))
+		prog := sessJobs[i].Program
+		records = append(records, darco.NewRecord(prog.Name(), prog.Meta().Suite, *scale, mode, br.Result, br.Err))
 		if br.Err != nil {
 			failed++
 			if !*jsonOut {
@@ -121,7 +151,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, br.Err)
 			}
 		} else if !*jsonOut {
-			report(spec, br.Result)
+			report(prog, br.Result)
 		}
 	}
 	if *jsonOut {
@@ -135,10 +165,18 @@ func main() {
 	}
 }
 
-func report(spec workload.Spec, res *darco.Result) {
+func report(prog workload.Program, res *darco.Result) {
 	tr := res.Timing
 	cyc := float64(tr.Cycles)
-	fmt.Printf("benchmark        %s (%s)\n", spec.Name, spec.Suite)
+	meta := prog.Meta()
+	origin := meta.Suite
+	if origin == "" {
+		origin = meta.Source
+	}
+	if meta.Phases > 1 {
+		origin = fmt.Sprintf("%s, %d phases", origin, meta.Phases)
+	}
+	fmt.Printf("benchmark        %s (%s)\n", prog.Name(), origin)
 	fmt.Printf("guest insts      %d (static %d, dyn/static %.0f)\n",
 		res.GuestDyn(), res.TOL.StaticTotal(), res.DynamicStaticRatio())
 	fmt.Printf("host insts       %d (app %d, tol %d)\n",

@@ -28,7 +28,7 @@ func TestSessionConcurrentMatchesSequential(t *testing.T) {
 			jobs = append(jobs, darco.Job{
 				Name:    spec.Name,
 				Variant: "scale=0.25",
-				Build:   spec.Build,
+				Program: workload.SpecProgram{Spec: spec},
 				Opts:    []darco.Option{darco.WithCosim(false)},
 			})
 		}

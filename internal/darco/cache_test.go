@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/guest"
+	"repro/internal/workload"
 )
 
 // pressureLoop builds a guest program with `loops` distinct hot inner
@@ -44,13 +45,13 @@ func pressureLoop(loops, iters, outer int32) func() (*guest.Program, error) {
 // ccSweepJobs builds the cache-pressure sweep job list: the unbounded
 // baseline plus every policy at every capacity.
 func ccSweepJobs(build func() (*guest.Program, error)) []Job {
-	jobs := []Job{{Name: "pressure", Variant: "cc=inf", Build: build}}
+	jobs := []Job{{Name: "pressure", Variant: "cc=inf", Program: workload.Func("pressure", build)}}
 	for _, policy := range []string{"flush-all", "fifo-region", "lru-translation"} {
 		for _, capacity := range []int{2048, 1024, 512} {
 			jobs = append(jobs, Job{
 				Name:    "pressure",
 				Variant: fmt.Sprintf("cc=%d/%s", capacity, policy),
-				Build:   build,
+				Program: workload.Func("pressure", build),
 				Opts:    []Option{WithCosim(true), WithCodeCache(capacity, policy)},
 			})
 		}
@@ -154,14 +155,14 @@ func TestSessionNoPreloadBypassesPreload(t *testing.T) {
 	sess.Preload("p", DefaultConfig().Mode, &poisoned)
 
 	build := func() (*guest.Program, error) { return prog, nil }
-	served, err := sess.Run(context.Background(), Job{Name: "p", Build: build})
+	served, err := sess.Run(context.Background(), Job{Name: "p", Program: workload.Func("p", build)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if served.Translations != -1 {
 		t.Fatal("job without NoPreload should have been served the preloaded result")
 	}
-	fresh, err := sess.Run(context.Background(), Job{Name: "p", Variant: "v2", Build: build, NoPreload: true})
+	fresh, err := sess.Run(context.Background(), Job{Name: "p", Variant: "v2", Program: workload.Func("p", build), NoPreload: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,11 @@
 //     JSON, making suite output machine-readable (cmd/darco-suite
 //     -json emits Records that cmd/darco-figs -from consumes).
 //
+// Programs come from the pluggable workload layer: a Job carries any
+// workload.Program, WithWorkload builds a Job from a
+// "<source>:<name>" reference (synthetic:, file:, trace:, phased:),
+// and JobForProgram/JobForSpec wrap already-resolved programs.
+//
 // Co-simulation against the authoritative guest emulator (the x86
 // component) is performed inside the engine when enabled; the
 // controller additionally exposes isolation runs (ignoring the TOL or

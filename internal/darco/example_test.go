@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/darco"
 	"repro/internal/guest"
+	"repro/internal/workload"
 )
 
 // ExampleRun builds a tiny guest program with the guest.Builder API
@@ -60,8 +61,8 @@ func ExampleSession() {
 	}
 	sess := darco.NewSession(darco.WithWorkers(2))
 	jobs := []darco.Job{
-		{Name: "count-40", Build: countdown(40)},
-		{Name: "count-60", Build: countdown(60)},
+		{Name: "count-40", Program: workload.Func("count-40", countdown(40))},
+		{Name: "count-60", Program: workload.Func("count-60", countdown(60))},
 	}
 	for _, br := range sess.RunBatch(context.Background(), jobs) {
 		if br.Err != nil {

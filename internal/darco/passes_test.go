@@ -127,7 +127,7 @@ func TestRunValidatesConfig(t *testing.T) {
 			failed++
 		}
 	}))
-	job := Job{Name: "bad", Build: func() (*guest.Program, error) { return p, nil },
+	job := Job{Name: "bad", Program: workload.Func("bad", func() (*guest.Program, error) { return p, nil }),
 		Opts: []Option{WithPasses("bogus")}}
 	if _, err := sess.Run(ctx, job); err == nil {
 		t.Fatal("Session.Run with bad pipeline succeeded")

@@ -9,21 +9,24 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/guest"
 	"repro/internal/timing"
 	"repro/internal/workload"
 )
 
-// Job is one unit of batch work: a named, deterministic program
-// factory plus the configuration options of the run. Name identifies
-// the benchmark (it is the display label and the key Preload records
-// match on); Variant distinguishes different programs sharing a Name —
-// typically the workload scale — and participates in the memo-cache
-// key alongside the hash of the resolved Config.
+// Job is one unit of batch work: a workload program plus the
+// configuration options of the run. Name identifies the benchmark (it
+// is the display label and the key Preload records match on); Variant
+// distinguishes different programs sharing a Name — typically the
+// workload source and scale — and participates in the memo-cache key
+// alongside the hash of the resolved Config.
 type Job struct {
 	Name    string
 	Variant string
-	Build   func() (*guest.Program, error)
+	// Program is the deterministic guest-program factory of the job —
+	// any workload.Program: a synthetic catalog spec, a file-defined
+	// spec, a recorded trace replay, a phased composite, or a
+	// hand-assembled program wrapped with workload.Func.
+	Program workload.Program
 	Opts    []Option
 
 	// NoPreload excludes the job from the preload shortcut. Preloaded
@@ -141,16 +144,53 @@ func (s *Session) emit(ev Event) {
 	s.evMu.Unlock()
 }
 
-// JobForSpec builds the session job for one already-scaled workload
-// spec. It is the single place the Variant cache-key component is
-// derived from the scale factor, so every tool keys identically.
+// JobForSpec builds the session job for one already-scaled synthetic
+// workload spec — the Spec-typed shorthand for JobForProgram.
 func JobForSpec(spec workload.Spec, scale float64, opts ...Option) Job {
-	return Job{
-		Name:    spec.Name,
-		Variant: fmt.Sprintf("scale=%g", scale),
-		Build:   spec.Build,
-		Opts:    opts,
+	return JobForProgram(workload.SpecProgram{Spec: spec}, scale, opts...)
+}
+
+// JobForProgram builds the session job for one already-scaled workload
+// program. It is the single place the Variant cache-key component is
+// derived from the program source, scale factor and content
+// fingerprint, so every tool keys identically and two programs sharing
+// a benchmark name (two traces recorded at different scales, a file:
+// spec named after a catalog entry) never alias one memoized result.
+// Non-synthetic programs opt out of the preload shortcut: preloaded
+// Records are matched by benchmark name only, and a trace or phased
+// program sharing a catalog name is not the run those records came
+// from.
+func JobForProgram(p workload.Program, scale float64, opts ...Option) Job {
+	meta := p.Meta()
+	variant := fmt.Sprintf("src=%s|scale=%g", meta.Source, scale)
+	if fp := workload.Fingerprint(p); fp != "" {
+		variant += "|id=" + fp
 	}
+	return Job{
+		Name:      p.Name(),
+		Variant:   variant,
+		Program:   p,
+		Opts:      opts,
+		NoPreload: meta.Source != workload.DefaultSource,
+	}
+}
+
+// WithWorkload resolves a "<source>:<name>" workload reference (e.g.
+// "synthetic:470.lbm", "file:mybench.json", "trace:run.trace.json",
+// "phased:401.bzip2+462.libquantum"; a bare name means synthetic)
+// through the workload Source registry, applies the scale factor, and
+// returns the session job running it — the reference-string
+// counterpart of JobForSpec shared by the command-line tools.
+func WithWorkload(ref string, scale float64, opts ...Option) (Job, error) {
+	p, err := workload.Open(ref)
+	if err != nil {
+		return Job{}, err
+	}
+	p, err = workload.ScaleProgram(p, scale)
+	if err != nil {
+		return Job{}, err
+	}
+	return JobForProgram(p, scale, opts...), nil
 }
 
 // resolve applies the job's options on top of DefaultConfig.
@@ -273,10 +313,10 @@ func (s *Session) Run(ctx context.Context, job Job) (*Result, error) {
 }
 
 func (s *Session) execute(ctx context.Context, job Job, cfg Config) (*Result, error) {
-	if job.Build == nil {
-		return nil, fmt.Errorf("darco: job %q has no program factory", job.Name)
+	if job.Program == nil {
+		return nil, fmt.Errorf("darco: job %q has no program", job.Name)
 	}
-	p, err := job.Build()
+	p, err := job.Program.Build()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", job.Name, err)
 	}

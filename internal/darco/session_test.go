@@ -23,7 +23,7 @@ func benchJob(t *testing.T, name string, scale float64, opts ...Option) Job {
 	return Job{
 		Name:    spec.Name,
 		Variant: fmt.Sprintf("scale=%g", scale),
-		Build:   spec.Build,
+		Program: workload.SpecProgram{Spec: spec},
 		Opts:    append([]Option{WithCosim(false)}, opts...),
 	}
 }
@@ -182,7 +182,7 @@ func TestSessionBatchReportsPerJobErrors(t *testing.T) {
 	boom := errors.New("boom")
 	jobs := []Job{
 		benchJob(t, "462.libquantum", 0.1),
-		{Name: "broken", Build: func() (*guest.Program, error) { return nil, boom }},
+		{Name: "broken", Program: workload.Func("broken", func() (*guest.Program, error) { return nil, boom })},
 	}
 	out := s.RunBatch(context.Background(), jobs)
 	if out[0].Err != nil {

@@ -28,9 +28,13 @@ import (
 // Options configures a figure-regeneration session.
 type Options struct {
 	// Scale multiplies the dynamic size of every workload (1.0 =
-	// DESIGN.md default budgets).
+	// DESIGN.md default budgets). Every selected program must be
+	// scalable when Scale != 1 (trace replays are fixed images).
 	Scale float64
 	// Benchmarks restricts the set (nil = full 48-benchmark catalog).
+	// Entries are workload references resolved through the Source
+	// registry ("<source>:<name>"); bare names select the synthetic
+	// catalog, so plain benchmark names keep working.
 	Benchmarks []string
 	// Config is the base DARCO configuration.
 	Config darco.Config
@@ -57,29 +61,46 @@ func DefaultOptions() Options {
 // simulate exactly once.
 type Runner struct {
 	opts  Options
-	specs []workload.Spec
+	progs []workload.Program
 	sess  *darco.Session
 }
 
-// NewRunner builds a runner over the selected benchmarks.
+// NewRunner builds a runner over the selected workload programs.
 func NewRunner(opts Options) (*Runner, error) {
 	if opts.Scale == 0 {
 		opts.Scale = 1.0
 	}
-	var specs []workload.Spec
+	var progs []workload.Program
 	if opts.Benchmarks == nil {
-		specs = workload.Catalog()
+		for _, s := range workload.Catalog() {
+			progs = append(progs, workload.SpecProgram{Spec: s})
+		}
 	} else {
-		for _, n := range opts.Benchmarks {
-			s, err := workload.ByName(n)
+		for _, ref := range opts.Benchmarks {
+			p, err := workload.Open(ref)
 			if err != nil {
 				return nil, err
 			}
-			specs = append(specs, s)
+			progs = append(progs, p)
 		}
 	}
-	for i := range specs {
-		specs[i] = specs[i].Scale(opts.Scale)
+	for i := range progs {
+		p, err := workload.ScaleProgram(progs[i], opts.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		progs[i] = p
+	}
+	// Every per-benchmark accessor (and every figure row set) is keyed
+	// by program name, so a selection where two programs share a name —
+	// a catalog benchmark plus a trace recorded from it, say — would
+	// silently show one program's results on both rows. Reject it.
+	byName := map[string]bool{}
+	for _, p := range progs {
+		if byName[p.Name()] {
+			return nil, fmt.Errorf("experiments: two selected workloads are named %q; figures key rows by name, so one of them must be renamed or dropped", p.Name())
+		}
+		byName[p.Name()] = true
 	}
 	sessOpts := []darco.SessionOption{darco.WithWorkers(opts.Jobs)}
 	if opts.Log != nil {
@@ -105,11 +126,13 @@ func NewRunner(opts Options) (*Runner, error) {
 		}
 		sess.Preload(rec.Benchmark, m, rec.Result)
 	}
-	return &Runner{opts: opts, specs: specs, sess: sess}, nil
+	return &Runner{opts: opts, progs: progs, sess: sess}, nil
 }
 
-// Specs returns the benchmark set of this runner.
-func (r *Runner) Specs() []workload.Spec { return r.specs }
+// Programs returns the workload set of this runner.
+func (r *Runner) Programs() []workload.Program {
+	return append([]workload.Program(nil), r.progs...)
+}
 
 func (r *Runner) ctx() context.Context {
 	if r.opts.Context != nil {
@@ -118,29 +141,29 @@ func (r *Runner) ctx() context.Context {
 	return context.Background()
 }
 
-func (r *Runner) spec(name string) (workload.Spec, error) {
-	for _, s := range r.specs {
-		if s.Name == name {
-			return s, nil
+func (r *Runner) program(name string) (workload.Program, error) {
+	for _, p := range r.progs {
+		if p.Name() == name {
+			return p, nil
 		}
 	}
-	return workload.Spec{}, fmt.Errorf("experiments: benchmark %q not in session", name)
+	return nil, fmt.Errorf("experiments: benchmark %q not in session", name)
 }
 
-// job builds the session job for one spec × mode.
-func (r *Runner) job(s workload.Spec, mode timing.Mode) darco.Job {
+// job builds the session job for one program × mode.
+func (r *Runner) job(p workload.Program, mode timing.Mode) darco.Job {
 	cfg := r.opts.Config
 	cfg.Mode = mode
-	return darco.JobForSpec(s, r.opts.Scale, darco.WithConfig(cfg))
+	return darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
 }
 
 // run executes (or recalls) one benchmark under a mode.
 func (r *Runner) run(name string, mode timing.Mode) (*darco.Result, error) {
-	s, err := r.spec(name)
+	p, err := r.program(name)
 	if err != nil {
 		return nil, err
 	}
-	return r.sess.Run(r.ctx(), r.job(s, mode))
+	return r.sess.Run(r.ctx(), r.job(p, mode))
 }
 
 // warm submits every session benchmark under each mode as one
@@ -148,9 +171,9 @@ func (r *Runner) run(name string, mode timing.Mode) (*darco.Result, error) {
 // Subsequent per-benchmark accessors are cache hits.
 func (r *Runner) warm(modes ...timing.Mode) error {
 	var jobs []darco.Job
-	for _, s := range r.specs {
+	for _, p := range r.progs {
 		for _, m := range modes {
-			jobs = append(jobs, r.job(s, m))
+			jobs = append(jobs, r.job(p, m))
 		}
 	}
 	for _, br := range r.sess.RunBatch(r.ctx(), jobs) {
@@ -176,20 +199,29 @@ func (r *Runner) TOLOnly(name string) (*darco.Result, error) {
 // by Figures 10 and 11. Both legs go through the session cache, so the
 // shared leg is reused by the Figure 5–7/9 accessors and vice versa.
 func (r *Runner) Interaction(name string) (*darco.InteractionResult, error) {
-	s, err := r.spec(name)
+	p, err := r.program(name)
 	if err != nil {
 		return nil, err
 	}
-	return r.sess.RunInteraction(r.ctx(), r.job(s, timing.ModeShared))
+	return r.sess.RunInteraction(r.ctx(), r.job(p, timing.ModeShared))
 }
 
-// suiteOrder lists suites in the paper's order.
-var suiteOrder = []workload.Suite{workload.SPECInt, workload.SPECFP, workload.Physics, workload.Media}
+// suiteOrder lists the paper's suites in order; programs whose Meta
+// carries another (or no) suite — traces, phased composites, file
+// specs outside the four suites — appear as rows but join no suite
+// average.
+func suiteOrder() []string {
+	var out []string
+	for _, s := range workload.Suites() {
+		out = append(out, s.String())
+	}
+	return out
+}
 
-// forEach runs fn over the session benchmarks in catalog order.
-func (r *Runner) forEach(fn func(s workload.Spec) error) error {
-	for _, s := range r.specs {
-		if err := fn(s); err != nil {
+// forEach runs fn over the session programs in catalog order.
+func (r *Runner) forEach(fn func(p workload.Program) error) error {
+	for _, p := range r.progs {
+		if err := fn(p); err != nil {
 			return err
 		}
 	}
@@ -210,12 +242,13 @@ func (r *Runner) Fig5() (*stats.Table, *stats.Table, error) {
 		aIM, aBBM, aSBM, bIM, bBBM, bSBM float64
 		n                                int
 	}
-	suiteAcc := map[workload.Suite]*acc{}
-	err := r.forEach(func(s workload.Spec) error {
-		res, err := r.Shared(s.Name)
+	suiteAcc := map[string]*acc{}
+	err := r.forEach(func(p workload.Program) error {
+		res, err := r.Shared(p.Name())
 		if err != nil {
 			return err
 		}
+		suite := p.Meta().Suite
 		im, bbm, sbm := res.TOL.StaticCounts()
 		st := float64(im + bbm + sbm)
 		dyn := float64(res.TOL.DynTotal())
@@ -223,12 +256,12 @@ func (r *Runner) Fig5() (*stats.Table, *stats.Table, error) {
 		bIM := 100 * float64(res.TOL.DynIM) / dyn
 		bBBM := 100 * float64(res.TOL.DynBBM) / dyn
 		bSBM := 100 * float64(res.TOL.DynSBM) / dyn
-		ta.AddRowf(1, s.Name, s.Suite.String(), aIM, aBBM, aSBM)
-		tb.AddRowf(1, s.Name, s.Suite.String(), bIM, bBBM, bSBM)
-		a := suiteAcc[s.Suite]
+		ta.AddRowf(1, p.Name(), suite, aIM, aBBM, aSBM)
+		tb.AddRowf(1, p.Name(), suite, bIM, bBBM, bSBM)
+		a := suiteAcc[suite]
 		if a == nil {
 			a = &acc{}
-			suiteAcc[s.Suite] = a
+			suiteAcc[suite] = a
 		}
 		a.aIM += aIM
 		a.aBBM += aBBM
@@ -242,11 +275,11 @@ func (r *Runner) Fig5() (*stats.Table, *stats.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, su := range suiteOrder {
+	for _, su := range suiteOrder() {
 		if a := suiteAcc[su]; a != nil && a.n > 0 {
 			n := float64(a.n)
-			ta.AddRowf(1, "AVG "+su.String(), su.String(), a.aIM/n, a.aBBM/n, a.aSBM/n)
-			tb.AddRowf(1, "AVG "+su.String(), su.String(), a.bIM/n, a.bBBM/n, a.bSBM/n)
+			ta.AddRowf(1, "AVG "+su, su, a.aIM/n, a.aBBM/n, a.aSBM/n)
+			tb.AddRowf(1, "AVG "+su, su, a.bIM/n, a.bBBM/n, a.bSBM/n)
 		}
 	}
 	return ta, tb, nil
@@ -272,20 +305,21 @@ func (r *Runner) Fig6() (*stats.Table, error) {
 		ov float64
 		n  int
 	}
-	suiteAcc := map[workload.Suite]*acc{}
-	err := r.forEach(func(s workload.Spec) error {
-		res, err := r.Shared(s.Name)
+	suiteAcc := map[string]*acc{}
+	err := r.forEach(func(p workload.Program) error {
+		res, err := r.Shared(p.Name())
 		if err != nil {
 			return err
 		}
+		suite := p.Meta().Suite
 		ov := res.Timing.TOLShare() * 100
-		t.AddRowf(1, s.Name, s.Suite.String(), ov, 100-ov,
+		t.AddRowf(1, p.Name(), suite, ov, 100-ov,
 			fmt.Sprintf("%.0f", res.DynamicStaticRatio()),
 			fmt.Sprint(res.TOL.SBCreated))
-		a := suiteAcc[s.Suite]
+		a := suiteAcc[suite]
 		if a == nil {
 			a = &acc{}
-			suiteAcc[s.Suite] = a
+			suiteAcc[suite] = a
 		}
 		a.ov += ov
 		a.n++
@@ -294,9 +328,9 @@ func (r *Runner) Fig6() (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, su := range suiteOrder {
+	for _, su := range suiteOrder() {
 		if a := suiteAcc[su]; a != nil && a.n > 0 {
-			t.AddRowf(1, "AVG "+su.String(), su.String(), a.ov/float64(a.n),
+			t.AddRowf(1, "AVG "+su, su, a.ov/float64(a.n),
 				100-a.ov/float64(a.n), "", "")
 		}
 	}
@@ -312,8 +346,8 @@ func (r *Runner) Fig7() (*stats.Table, error) {
 	}
 	t := stats.NewTable("Figure 7: TOL time by component (% of cycles) + indirect branches",
 		"benchmark", "suite", "tol-other", "IM", "BBM", "SBM", "chaining", "code$-lookup", "indirect-branches")
-	err := r.forEach(func(s workload.Spec) error {
-		res, err := r.Shared(s.Name)
+	err := r.forEach(func(p workload.Program) error {
+		res, err := r.Shared(p.Name())
 		if err != nil {
 			return err
 		}
@@ -321,7 +355,7 @@ func (r *Runner) Fig7() (*stats.Table, error) {
 		comp := func(c timing.Component) float64 {
 			return 100 * res.Timing.ComponentCycles(c) / cyc
 		}
-		t.AddRowf(2, s.Name, s.Suite.String(),
+		t.AddRowf(2, p.Name(), p.Meta().Suite,
 			comp(timing.CompTOLOther), comp(timing.CompIM), comp(timing.CompBBM),
 			comp(timing.CompSBM), comp(timing.CompChaining), comp(timing.CompCodeCacheLookup),
 			fmt.Sprint(res.TOL.IndirectDyn))
@@ -352,8 +386,8 @@ func (r *Runner) Fig7b() (*stats.Table, error) {
 	// session pipeline when no run created superblocks.
 	var names []string
 	seen := map[string]bool{}
-	err := r.forEach(func(s workload.Spec) error {
-		res, err := r.Shared(s.Name)
+	err := r.forEach(func(p workload.Program) error {
+		res, err := r.Shared(p.Name())
 		if err != nil {
 			return err
 		}
@@ -379,8 +413,8 @@ func (r *Runner) Fig7b() (*stats.Table, error) {
 	}
 	cols = append(cols, "sbm-other", "eliminated")
 	t := stats.NewTable("Figure 7b: SBM time by optimization pass (% of cycles)", cols...)
-	err = r.forEach(func(s workload.Spec) error {
-		res, err := r.Shared(s.Name)
+	err = r.forEach(func(p workload.Program) error {
+		res, err := r.Shared(p.Name())
 		if err != nil {
 			return err
 		}
@@ -393,7 +427,7 @@ func (r *Runner) Fig7b() (*stats.Table, error) {
 			}
 			return 100 * sbmCyc * (float64(insts) / total) / cyc
 		}
-		row := []any{s.Name, s.Suite.String()}
+		row := []any{p.Name(), p.Meta().Suite}
 		var eliminated uint64
 		for _, n := range names {
 			var insts uint64
@@ -426,12 +460,12 @@ var DefaultCCCapacities = []int{0, 4096, 2048, 1024, 512, 256}
 // Bounded points opt out of preloading: preloaded Records are matched
 // by (benchmark, mode) only and were produced under the unbounded
 // baseline configuration.
-func (r *Runner) ccJob(s workload.Spec, capacity int, policy string) darco.Job {
+func (r *Runner) ccJob(p workload.Program, capacity int, policy string) darco.Job {
 	cfg := r.opts.Config
 	cfg.Mode = timing.ModeShared
 	cfg.TOL.Cache = tol.CacheConfig{CapacityInsts: capacity, Policy: policy}
-	j := darco.JobForSpec(s, r.opts.Scale, darco.WithConfig(cfg))
-	j.NoPreload = capacity > 0
+	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
+	j.NoPreload = j.NoPreload || capacity > 0
 	return j
 }
 
@@ -467,13 +501,13 @@ func (r *Runner) FigCC(capacities []int) (*stats.Table, error) {
 	}
 	var jobs []darco.Job
 	var points []point
-	for _, s := range r.specs {
-		jobs = append(jobs, r.ccJob(s, 0, ""))
-		points = append(points, point{s.Name, "", 0})
+	for _, p := range r.progs {
+		jobs = append(jobs, r.ccJob(p, 0, ""))
+		points = append(points, point{p.Name(), "", 0})
 		for _, pol := range policies {
 			for _, c := range caps {
-				jobs = append(jobs, r.ccJob(s, c, pol))
-				points = append(points, point{s.Name, pol, c})
+				jobs = append(jobs, r.ccJob(p, c, pol))
+				points = append(points, point{p.Name(), pol, c})
 			}
 		}
 	}
@@ -488,8 +522,8 @@ func (r *Runner) FigCC(capacities []int) (*stats.Table, error) {
 	t := stats.NewTable("Figure CC: code cache pressure sweep (cycles and retranslation rate vs. capacity)",
 		"benchmark", "policy", "cc-size", "cycles", "slowdown",
 		"evictions", "flushes", "retrans", "retrans/Kdyn", "cc-peak", "tol%")
-	for _, s := range r.specs {
-		base := results[point{s.Name, "", 0}]
+	for _, p := range r.progs {
+		base := results[point{p.Name(), "", 0}]
 		addRow := func(policy, size string, res *darco.Result) {
 			slow := 1.0
 			if base.Timing.Cycles > 0 {
@@ -506,7 +540,7 @@ func (r *Runner) FigCC(capacities []int) (*stats.Table, error) {
 			if peak == 0 {
 				peak = res.CodeCacheInsts
 			}
-			t.AddRow(s.Name, policy, size,
+			t.AddRow(p.Name(), policy, size,
 				fmt.Sprint(res.Timing.Cycles),
 				fmt.Sprintf("%.3f", slow),
 				fmt.Sprint(res.TOL.Evictions),
@@ -519,7 +553,7 @@ func (r *Runner) FigCC(capacities []int) (*stats.Table, error) {
 		addRow("unbounded", "inf", base)
 		for _, pol := range policies {
 			for _, c := range caps {
-				addRow(pol, fmt.Sprint(c), results[point{s.Name, pol, c}])
+				addRow(pol, fmt.Sprint(c), results[point{p.Name(), pol, c}])
 			}
 		}
 	}
@@ -535,13 +569,13 @@ func (r *Runner) Fig8() (*stats.Table, error) {
 	}
 	t := stats.NewTable("Figure 8: TOL performance characteristics (TOL executed in isolation)",
 		"benchmark", "suite", "IPC", "D$-miss%", "I$-miss%", "BP-miss%")
-	err := r.forEach(func(s workload.Spec) error {
-		res, err := r.TOLOnly(s.Name)
+	err := r.forEach(func(p workload.Program) error {
+		res, err := r.TOLOnly(p.Name())
 		if err != nil {
 			return err
 		}
 		tr := res.Timing
-		t.AddRowf(2, s.Name, s.Suite.String(), tr.IPC(),
+		t.AddRowf(2, p.Name(), p.Meta().Suite, tr.IPC(),
 			100*tr.L1D.OwnerMissRate(timing.OwnerTOL),
 			100*tr.L1I.OwnerMissRate(timing.OwnerTOL),
 			100*tr.Branch.OwnerMispredictRate(timing.OwnerTOL))
@@ -558,8 +592,8 @@ func (r *Runner) Fig8() (*stats.Table, error) {
 func (r *Runner) fig9Rows() []string {
 	var rows []string
 	have := map[string]bool{}
-	for _, s := range r.specs {
-		have[s.Name] = true
+	for _, p := range r.progs {
+		have[p.Name()] = true
 	}
 	for _, o := range workload.Outliers() {
 		if have[o] {
@@ -606,20 +640,20 @@ func (r *Runner) Fig9() (*stats.Table, error) {
 		}
 		addRow(name, []*darco.Result{res})
 	}
-	for _, su := range suiteOrder {
+	for _, su := range suiteOrder() {
 		var rs []*darco.Result
-		for _, s := range r.specs {
-			if s.Suite != su {
+		for _, p := range r.progs {
+			if p.Meta().Suite != su {
 				continue
 			}
-			res, err := r.Shared(s.Name)
+			res, err := r.Shared(p.Name())
 			if err != nil {
 				return nil, err
 			}
 			rs = append(rs, res)
 		}
 		if len(rs) > 0 {
-			addRow("AVG "+su.String(), rs)
+			addRow("AVG "+su, rs)
 		}
 	}
 	return t, nil
@@ -649,20 +683,20 @@ func (r *Runner) Fig10() (*stats.Table, error) {
 		}
 		addRow(name, []*darco.InteractionResult{ir})
 	}
-	for _, su := range suiteOrder {
+	for _, su := range suiteOrder() {
 		var irs []*darco.InteractionResult
-		for _, s := range r.specs {
-			if s.Suite != su {
+		for _, p := range r.progs {
+			if p.Meta().Suite != su {
 				continue
 			}
-			ir, err := r.Interaction(s.Name)
+			ir, err := r.Interaction(p.Name())
 			if err != nil {
 				return nil, err
 			}
 			irs = append(irs, ir)
 		}
 		if len(irs) > 0 {
-			addRow("AVG "+su.String(), irs)
+			addRow("AVG "+su, irs)
 		}
 	}
 	return t, nil
@@ -701,20 +735,20 @@ func (r *Runner) Fig11() (*stats.Table, *stats.Table, error) {
 		rowSets[name] = []*darco.InteractionResult{ir}
 		order = append(order, name)
 	}
-	for _, su := range suiteOrder {
+	for _, su := range suiteOrder() {
 		var irs []*darco.InteractionResult
-		for _, s := range r.specs {
-			if s.Suite != su {
+		for _, p := range r.progs {
+			if p.Meta().Suite != su {
 				continue
 			}
-			ir, err := r.Interaction(s.Name)
+			ir, err := r.Interaction(p.Name())
 			if err != nil {
 				return nil, nil, err
 			}
 			irs = append(irs, ir)
 		}
 		if len(irs) > 0 {
-			label := "AVG " + su.String()
+			label := "AVG " + su
 			rowSets[label] = irs
 			order = append(order, label)
 		}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/darco"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/tol"
+	"repro/internal/workload"
+)
+
+// FigPhase characterizes phase behaviour, the workload axis the
+// phased: source opens: as a program moves through distinct phases,
+// each with its own hot working set, a bounded code cache must evict
+// the previous phase's translations and retranslate on any return —
+// activity a single-phase benchmark can never trigger at steady state.
+// The figure sweeps composites of 1..maxPhases members (cycled from
+// the pool) under every registered eviction policy at one bounded
+// capacity, against the unbounded baseline.
+
+// DefaultPhasePool lists the catalog members FigPhase cycles through:
+// benchmarks with deliberately diverse static footprints and
+// repetition characters, so successive phases displace each other's
+// hot code.
+var DefaultPhasePool = []string{
+	"401.bzip2",
+	"462.libquantum",
+	"429.mcf",
+	"006.jpg2000dec",
+	"000.cjpeg",
+	"470.lbm",
+}
+
+// FigPhase defaults.
+const (
+	// DefaultPhaseCount is the largest composite of the sweep.
+	DefaultPhaseCount = 4
+	// DefaultPhaseCapacityInsts bounds the code cache during the
+	// sweep: below a typical two-phase translated footprint at scale
+	// 1, so phase changes evict.
+	DefaultPhaseCapacityInsts = 2048
+)
+
+// phasePool returns the member-name cycle: the session's synthetic
+// benchmarks when the runner was restricted with Options.Benchmarks,
+// otherwise DefaultPhasePool.
+func (r *Runner) phasePool() []string {
+	if r.opts.Benchmarks == nil {
+		return DefaultPhasePool
+	}
+	var pool []string
+	for _, p := range r.progs {
+		if p.Meta().Source == workload.DefaultSource {
+			pool = append(pool, p.Name())
+		}
+	}
+	if len(pool) == 0 {
+		return DefaultPhasePool
+	}
+	return pool
+}
+
+// phaseJob builds the session job for one sweep point. Every point
+// opts out of preloading: phased composites are not the runs suite
+// records describe.
+func (r *Runner) phaseJob(p workload.Program, capacity int, policy string) darco.Job {
+	cfg := r.opts.Config
+	cfg.Mode = timing.ModeShared
+	cfg.TOL.Cache = tol.CacheConfig{CapacityInsts: capacity, Policy: policy}
+	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
+	j.NoPreload = true
+	return j
+}
+
+// FigPhase runs the phase-behaviour characterization: composites of
+// 1..maxPhases members under the unbounded baseline and under every
+// registered eviction policy at capacityInsts. Zero arguments select
+// DefaultPhaseCount and DefaultPhaseCapacityInsts. Rows are grouped
+// per phase count — baseline first, then the policies in registration
+// order — so the phase axis reads directly down the table.
+func (r *Runner) FigPhase(maxPhases, capacityInsts int) (*stats.Table, error) {
+	if maxPhases <= 0 {
+		maxPhases = DefaultPhaseCount
+	}
+	if capacityInsts <= 0 {
+		capacityInsts = DefaultPhaseCapacityInsts
+	}
+	if capacityInsts < tol.MinCacheCapacityInsts {
+		return nil, fmt.Errorf("experiments: phase capacity %d below minimum %d",
+			capacityInsts, tol.MinCacheCapacityInsts)
+	}
+	pool := r.phasePool()
+
+	// Build the 1..maxPhases composites, cycling the pool. Members are
+	// scaled here; the runner's session programs are not reused because
+	// a composite is one program, not a batch of its members.
+	progs := make([]workload.Program, 0, maxPhases)
+	for n := 1; n <= maxPhases; n++ {
+		var members []workload.Spec
+		for i := 0; i < n; i++ {
+			spec, err := workload.ByName(pool[i%len(pool)])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: phase member: %w", err)
+			}
+			members = append(members, spec.Scale(r.opts.Scale))
+		}
+		p, err := workload.Phased("", members...)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		progs = append(progs, p)
+	}
+	policies := tol.RegisteredEvictionPolicies()
+
+	// Warm the whole sweep as one concurrent batch.
+	type point struct {
+		phases int
+		policy string
+	}
+	var jobs []darco.Job
+	var points []point
+	for n, p := range progs {
+		jobs = append(jobs, r.phaseJob(p, 0, ""))
+		points = append(points, point{n + 1, ""})
+		for _, pol := range policies {
+			jobs = append(jobs, r.phaseJob(p, capacityInsts, pol))
+			points = append(points, point{n + 1, pol})
+		}
+	}
+	results := make(map[point]*darco.Result, len(jobs))
+	for i, br := range r.sess.RunBatch(r.ctx(), jobs) {
+		if br.Err != nil {
+			return nil, br.Err
+		}
+		results[points[i]] = br.Result
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Figure PHASE: eviction and retranslation vs. phase count (cc-size %d)", capacityInsts),
+		"phases", "workload", "policy", "cycles", "slowdown",
+		"evictions", "flushes", "retrans", "retrans/Kdyn", "cc-peak", "tol%")
+	for n, p := range progs {
+		base := results[point{n + 1, ""}]
+		addRow := func(policy string, res *darco.Result) {
+			slow := 1.0
+			if base.Timing.Cycles > 0 {
+				slow = float64(res.Timing.Cycles) / float64(base.Timing.Cycles)
+			}
+			dyn := float64(res.TOL.DynTotal())
+			rate := 0.0
+			if dyn > 0 {
+				rate = 1000 * float64(res.TOL.Retranslations) / dyn
+			}
+			peak := res.TOL.CacheOccupancyPeak
+			if peak == 0 {
+				peak = res.CodeCacheInsts
+			}
+			t.AddRow(fmt.Sprint(n+1), p.Name(), policy,
+				fmt.Sprint(res.Timing.Cycles),
+				fmt.Sprintf("%.3f", slow),
+				fmt.Sprint(res.TOL.Evictions),
+				fmt.Sprint(res.TOL.FlushCount),
+				fmt.Sprint(res.TOL.Retranslations),
+				fmt.Sprintf("%.2f", rate),
+				fmt.Sprint(peak),
+				fmt.Sprintf("%.1f", 100*res.Timing.TOLShare()))
+		}
+		addRow("unbounded", base)
+		for _, pol := range policies {
+			addRow(pol, results[point{n + 1, pol}])
+		}
+	}
+	return t, nil
+}

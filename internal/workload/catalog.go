@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // The catalog mirrors the paper's benchmark list: SPEC CPU2006 INT
 // (12), SPEC CPU2006 FP (16), Physicsbench (8) and Mediabench (12).
@@ -13,43 +16,61 @@ import "fmt"
 // interpreter activity. Dynamic sizes are scaled to the simulation
 // budgets in DESIGN.md; use Spec.Scale to grow them.
 
-// Catalog returns the full 48-benchmark list in the paper's order.
-func Catalog() []Spec {
-	var out []Spec
-	out = append(out, specINT()...)
-	out = append(out, specFP()...)
-	out = append(out, physics()...)
-	out = append(out, media()...)
-	for i := range out {
-		out[i].Seed = int64(1000 + i)
+// The catalog is generated once and memoized: Spec is a pure value
+// type, so handing out slice copies keeps callers free to mutate their
+// view (Scale, ad-hoc tweaks) without aliasing, while per-name lookups
+// — which experiments.Runner issues in a loop — become a map hit
+// instead of regenerating all 48 specs.
+var (
+	catalogOnce  sync.Once
+	catalogSpecs []Spec
+	catalogIndex map[string]int
+)
+
+func buildCatalog() {
+	catalogSpecs = append(catalogSpecs, specINT()...)
+	catalogSpecs = append(catalogSpecs, specFP()...)
+	catalogSpecs = append(catalogSpecs, physics()...)
+	catalogSpecs = append(catalogSpecs, media()...)
+	catalogIndex = make(map[string]int, len(catalogSpecs))
+	for i := range catalogSpecs {
+		catalogSpecs[i].Seed = int64(1000 + i)
+		catalogIndex[catalogSpecs[i].Name] = i
 	}
-	return out
+}
+
+// Catalog returns the full 48-benchmark list in the paper's order. The
+// returned slice is the caller's to mutate.
+func Catalog() []Spec {
+	catalogOnce.Do(buildCatalog)
+	return append([]Spec(nil), catalogSpecs...)
 }
 
 // ByName returns the catalog entry with the given name.
 func ByName(name string) (Spec, error) {
-	for _, s := range Catalog() {
-		if s.Name == name {
-			return s, nil
-		}
+	catalogOnce.Do(buildCatalog)
+	i, ok := catalogIndex[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
 	}
-	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	return catalogSpecs[i], nil
 }
 
 // Names returns all benchmark names in catalog order.
 func Names() []string {
-	c := Catalog()
-	out := make([]string, len(c))
-	for i := range c {
-		out[i] = c[i].Name
+	catalogOnce.Do(buildCatalog)
+	out := make([]string, len(catalogSpecs))
+	for i := range catalogSpecs {
+		out[i] = catalogSpecs[i].Name
 	}
 	return out
 }
 
 // BySuite returns the catalog entries of one suite.
 func BySuite(s Suite) []Spec {
+	catalogOnce.Do(buildCatalog)
 	var out []Spec
-	for _, b := range Catalog() {
+	for _, b := range catalogSpecs {
 		if b.Suite == s {
 			out = append(out, b)
 		}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The file source loads benchmark Specs from JSON, so new synthetic
+// benchmarks can be defined without recompiling. A file holds either a
+// single Spec object or an array of Specs; references select one:
+//
+//	file:mybench.json            single-spec file (or a one-element array)
+//	file:mybenches.json#kernel7  entry "kernel7" of a multi-spec file
+//
+// Field names match the Spec struct ("Name", "Suite", "HotKernels",
+// ...); Suite accepts the display names and the short aliases of
+// ParseSuite. Unknown fields are rejected so typos surface instead of
+// silently producing a default benchmark.
+type fileSource struct{}
+
+func (fileSource) Scheme() string { return "file" }
+
+func (fileSource) Open(name string) (Program, error) {
+	path, frag := name, ""
+	if i := strings.IndexByte(name, '#'); i >= 0 {
+		path, frag = name[:i], name[i+1:]
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: file source: %w", err)
+	}
+	defer f.Close()
+	specs, err := DecodeSpecs(f)
+	if err != nil {
+		return nil, fmt.Errorf("workload: file source %s: %w", path, err)
+	}
+	spec, err := selectSpec(specs, frag)
+	if err != nil {
+		return nil, fmt.Errorf("workload: file source %s: %w", path, err)
+	}
+	return SpecProgram{Spec: spec, Source: "file"}, nil
+}
+
+// DecodeSpecs reads one Spec or an array of Specs from JSON, validating
+// each. Unknown fields are errors.
+func DecodeSpecs(r io.Reader) ([]Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var specs []Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := dec.Decode(&specs); err != nil {
+			return nil, err
+		}
+	} else {
+		var s Spec
+		if err := dec.Decode(&s); err != nil {
+			return nil, err
+		}
+		specs = []Spec{s}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no specs defined")
+	}
+	for i := range specs {
+		if specs[i].Name == "" {
+			return nil, fmt.Errorf("spec %d has no Name", i)
+		}
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
+}
+
+// selectSpec picks the referenced entry: the fragment name when given,
+// otherwise the file's sole spec.
+func selectSpec(specs []Spec, frag string) (Spec, error) {
+	if frag == "" {
+		if len(specs) != 1 {
+			names := make([]string, len(specs))
+			for i, s := range specs {
+				names[i] = s.Name
+			}
+			return Spec{}, fmt.Errorf("file defines %d specs; select one with #name (%s)",
+				len(specs), strings.Join(names, ", "))
+		}
+		return specs[0], nil
+	}
+	for _, s := range specs {
+		if s.Name == frag {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("no spec named %q", frag)
+}

@@ -1,11 +1,17 @@
-// Package workload generates the synthetic guest benchmarks used to
-// characterize TOL. Real SPEC CPU2006 / Mediabench / Physicsbench x86
-// binaries are not available to this reproduction (see DESIGN.md), so
-// each benchmark is synthesized from the structural characteristics the
-// paper identifies as the drivers of every result: static code size,
-// dynamic/static instruction ratio (and its closeness to the promotion
-// threshold), indirect-branch density, instruction mix (INT vs FP),
-// call behaviour, and memory footprint.
+// Package workload provides the guest programs used to characterize
+// TOL, behind a pluggable Program interface with a Source registry
+// (see program.go): synthetic: generates the 48-benchmark catalog,
+// file: loads spec definitions from JSON, trace: records and replays
+// exact guest images, and phased: composes members into multi-phase
+// programs. This file is the synthetic generator.
+//
+// Real SPEC CPU2006 / Mediabench / Physicsbench x86 binaries are not
+// available to this reproduction (see DESIGN.md), so each benchmark is
+// synthesized from the structural characteristics the paper identifies
+// as the drivers of every result: static code size, dynamic/static
+// instruction ratio (and its closeness to the promotion threshold),
+// indirect-branch density, instruction mix (INT vs FP), call
+// behaviour, and memory footprint.
 //
 // A generated benchmark has four kinds of code:
 //
@@ -19,8 +25,10 @@
 package workload
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/guest"
 	"repro/internal/mem"
@@ -44,6 +52,58 @@ func (s Suite) String() string {
 		return suiteNames[s]
 	}
 	return "suite?"
+}
+
+// Suites lists all suites in the paper's order.
+func Suites() []Suite {
+	return []Suite{SPECInt, SPECFP, Physics, Media}
+}
+
+// ParseSuite is the inverse of Suite.String. It accepts the display
+// names case-insensitively plus the short aliases the command-line
+// tools use (int, fp, physics, media), so ParseSuite(s.String()) == s
+// for every suite.
+func ParseSuite(name string) (Suite, error) {
+	switch strings.ToLower(name) {
+	case "int", "spec-int":
+		return SPECInt, nil
+	case "fp", "spec-fp":
+		return SPECFP, nil
+	case "physics", "physicsbench":
+		return Physics, nil
+	case "media", "mediabench":
+		return Media, nil
+	}
+	return 0, fmt.Errorf("workload: unknown suite %q (want int, fp, physics or media)", name)
+}
+
+// MarshalJSON encodes the suite as its display name, so file: specs
+// read naturally ("Suite": "SPEC-INT") instead of as a bare enum value.
+func (s Suite) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts a suite name (any spelling ParseSuite takes)
+// or a legacy numeric value.
+func (s *Suite) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var name string
+		if err := json.Unmarshal(b, &name); err != nil {
+			return err
+		}
+		su, err := ParseSuite(name)
+		if err != nil {
+			return err
+		}
+		*s = su
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*s = Suite(n)
+	return nil
 }
 
 // Spec parameterizes one synthetic benchmark.
@@ -88,10 +148,48 @@ type Spec struct {
 	Irregular bool
 }
 
-// Validate checks spec consistency.
+// MaxFootprint bounds a spec's data working set. The guest data
+// region spans mem.GuestDataBase to mem.GuestTableBase (16 MiB); the
+// bound keeps the footprint plus the warm-region counter behind it
+// clear of the jump tables, so a file:-loaded spec cannot define a
+// program whose data accesses silently corrupt its own dispatcher.
+const MaxFootprint = 1 << 23
+
+// Validate checks spec consistency. Specs now also arrive from
+// outside the vetted catalog (the file: source decodes arbitrary
+// JSON), so ranges are enforced, not assumed.
 func (s *Spec) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"HotKernels", s.HotKernels}, {"KernelLen", s.KernelLen},
+		{"KernelIter", s.KernelIter}, {"OuterIters", s.OuterIters},
+		{"ColdBlocks", s.ColdBlocks}, {"ColdLen", s.ColdLen},
+		{"WarmBlocks", s.WarmBlocks}, {"WarmLen", s.WarmLen},
+		{"WarmIters", s.WarmIters}, {"Fanout", s.Fanout},
+		{"DispatchIters", s.DispatchIters}, {"Footprint", s.Footprint},
+		{"Stride", s.Stride},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("workload %s: negative %s %d", s.Name, f.name, f.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"FPFrac", s.FPFrac}, {"MemFrac", s.MemFrac}, {"BranchFrac", s.BranchFrac},
+	} {
+		if f.v < 0 || f.v > 1 || f.v != f.v {
+			return fmt.Errorf("workload %s: %s %g outside [0,1]", s.Name, f.name, f.v)
+		}
+	}
 	if s.Footprint != 0 && s.Footprint&(s.Footprint-1) != 0 {
 		return fmt.Errorf("workload %s: footprint %d not a power of two", s.Name, s.Footprint)
+	}
+	if s.Footprint > MaxFootprint {
+		return fmt.Errorf("workload %s: footprint %d exceeds MaxFootprint (%d)", s.Name, s.Footprint, MaxFootprint)
 	}
 	if s.Fanout > 64 {
 		return fmt.Errorf("workload %s: fanout %d > 64", s.Name, s.Fanout)
@@ -125,13 +223,70 @@ func (s Spec) Scale(f float64) Spec {
 	return s
 }
 
+// emitCtx parameterizes one emission of a Spec into a shared builder.
+// A standalone program uses the zero prefix, halts at the end and
+// places its dispatcher jump table at mem.GuestTableBase; a phased
+// composite gives every member a distinct label prefix and table
+// region, and replaces the final halt with a jump to the next phase.
+type emitCtx struct {
+	prefix    string
+	tableBase uint32
+	next      string // label to continue at when the phase ends ("" = halt)
+}
+
+// pendingTable is a dispatcher jump table whose case addresses can only
+// be resolved after the builder's final layout pass.
+type pendingTable struct {
+	base   uint32
+	labels []string
+}
+
+// resolve materializes the table as an initialized data segment.
+func (t *pendingTable) resolve(b *guest.Builder) (guest.DataSeg, error) {
+	raw := make([]byte, 4*len(t.labels))
+	for i, label := range t.labels {
+		a, ok := b.AddrOf(label)
+		if !ok {
+			return guest.DataSeg{}, fmt.Errorf("workload: case label %q missing", label)
+		}
+		raw[4*i+0] = byte(a)
+		raw[4*i+1] = byte(a >> 8)
+		raw[4*i+2] = byte(a >> 16)
+		raw[4*i+3] = byte(a >> 24)
+	}
+	return guest.DataSeg{Addr: t.base, Bytes: raw}, nil
+}
+
 // Build synthesizes the guest program.
 func (s Spec) Build() (*guest.Program, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	r := rand.New(rand.NewSource(s.Seed))
 	b := guest.NewBuilder()
+	b.Label("start")
+	tbl := s.emitInto(b, emitCtx{tableBase: mem.GuestTableBase})
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if tbl != nil {
+		seg, err := tbl.resolve(b)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+		}
+		p.Data = append(p.Data, seg)
+	}
+	return p, nil
+}
+
+// emitInto emits the whole benchmark body — initialization, cold and
+// warm regions, hot kernels, dispatcher, and the trailing kernel/helper
+// functions — into the builder. It returns the dispatcher's jump table
+// (to be resolved after layout) or nil when the spec has no indirect
+// control flow. Callers label the entry point and resolve the table.
+func (s Spec) emitInto(b *guest.Builder, ctx emitCtx) *pendingTable {
+	r := rand.New(rand.NewSource(s.Seed))
+	lbl := func(name string) string { return ctx.prefix + name }
 
 	// Register plan (callee-clobber conventions are moot here):
 	//   EBP: data base pointer (never clobbered)
@@ -140,7 +295,6 @@ func (s Spec) Build() (*guest.Program, error) {
 	//   ESI: rotating data index
 	//   EDI: dispatcher case index / accumulator
 	//   EAX, EBX: scratch for generated bodies
-	b.Label("start")
 	b.MovRI(guest.EBP, int32(mem.GuestDataBase))
 	b.MovRI(guest.ESI, 0)
 	b.MovRI(guest.EDI, 0)
@@ -151,24 +305,26 @@ func (s Spec) Build() (*guest.Program, error) {
 	// is a distinct basic block in IM.
 	for c := 0; c < s.ColdBlocks; c++ {
 		s.emitBody(b, r, s.ColdLen, 0.0, 0.3)
-		b.Jmp(fmt.Sprintf("cold%d", c))
-		b.Label(fmt.Sprintf("cold%d", c))
+		b.Jmp(lbl(fmt.Sprintf("cold%d", c)))
+		b.Label(lbl(fmt.Sprintf("cold%d", c)))
 	}
 
 	// Warm-region counter in memory (so no register is consumed).
+	// Phased composites share the data region, but every phase
+	// re-initializes the counter here, so reuse across phases is safe.
 	warmCountAddr := int32(s.Footprint + 64)
 	b.MovRI(guest.EAX, int32(s.WarmIters))
 	b.Store(guest.EBP, warmCountAddr, guest.EAX)
 
 	b.MovRI(guest.EDX, int32(s.OuterIters))
-	b.Label("outer")
+	b.Label(lbl("outer"))
 
 	// Hot kernels.
 	for k := 0; k < s.HotKernels; k++ {
 		if s.UseCalls {
-			b.Call(fmt.Sprintf("kernel%d", k))
+			b.Call(lbl(fmt.Sprintf("kernel%d", k)))
 		} else {
-			s.emitKernelInline(b, r, k)
+			s.emitKernelInline(b, r, ctx, k)
 		}
 	}
 
@@ -176,109 +332,97 @@ func (s Spec) Build() (*guest.Program, error) {
 	if s.WarmBlocks > 0 {
 		b.Load(guest.EAX, guest.EBP, warmCountAddr)
 		b.CmpRI(guest.EAX, 0)
-		b.Jcc(guest.CondLE, "warmskip")
+		b.Jcc(guest.CondLE, lbl("warmskip"))
 		b.Dec(guest.EAX)
 		b.Store(guest.EBP, warmCountAddr, guest.EAX)
 		for w := 0; w < s.WarmBlocks; w++ {
 			s.emitBody(b, r, s.WarmLen, s.FPFrac/2, 0.3)
-			b.Jmp(fmt.Sprintf("warm%d", w))
-			b.Label(fmt.Sprintf("warm%d", w))
+			b.Jmp(lbl(fmt.Sprintf("warm%d", w)))
+			b.Label(lbl(fmt.Sprintf("warm%d", w)))
 		}
-		b.Label("warmskip")
+		b.Label(lbl("warmskip"))
 	}
 
 	// Dispatcher: indirect jumps through a jump table.
+	var tbl *pendingTable
 	if s.Fanout > 0 && s.DispatchIters > 0 {
 		b.MovRI(guest.ECX, int32(s.DispatchIters))
-		b.Label("dispatch")
-		b.MovRI(guest.EAX, int32(mem.GuestTableBase))
+		b.Label(lbl("dispatch"))
+		b.MovRI(guest.EAX, int32(ctx.tableBase))
 		b.LoadIdx(guest.EAX, guest.EAX, guest.EDI, 4, 0)
 		b.JmpInd(guest.EAX)
 		for c := 0; c < s.Fanout; c++ {
-			b.Label(fmt.Sprintf("case%d", c))
+			b.Label(lbl(fmt.Sprintf("case%d", c)))
 			s.emitBody(b, r, 4+c%5, 0, 0.25)
 			if s.CaseCalls {
-				b.Call("casehelper")
+				b.Call(lbl("casehelper"))
 			}
-			b.Jmp("dispjoin")
+			b.Jmp(lbl("dispjoin"))
 		}
-		b.Label("dispjoin")
+		b.Label(lbl("dispjoin"))
 		b.Inc(guest.EDI)
 		b.CmpRI(guest.EDI, int32(s.Fanout))
-		b.Jcc(guest.CondL, "dispnowrap")
+		b.Jcc(guest.CondL, lbl("dispnowrap"))
 		b.MovRI(guest.EDI, 0)
-		b.Label("dispnowrap")
+		b.Label(lbl("dispnowrap"))
 		b.Dec(guest.ECX)
 		b.CmpRI(guest.ECX, 0)
-		b.Jcc(guest.CondG, "dispatch")
+		b.Jcc(guest.CondG, lbl("dispatch"))
 	}
 
 	b.Dec(guest.EDX)
 	b.CmpRI(guest.EDX, 0)
-	b.Jcc(guest.CondG, "outer")
-	b.Halt()
+	b.Jcc(guest.CondG, lbl("outer"))
+	if ctx.next == "" {
+		b.Halt()
+	} else {
+		b.Jmp(ctx.next)
+	}
 
 	// Kernel bodies as functions.
 	if s.UseCalls {
 		for k := 0; k < s.HotKernels; k++ {
-			b.Label(fmt.Sprintf("kernel%d", k))
-			s.emitKernelBody(b, r, k)
+			b.Label(lbl(fmt.Sprintf("kernel%d", k)))
+			s.emitKernelBody(b, r, ctx, k)
 			b.Ret()
 		}
 	}
 	if s.Fanout > 0 && s.CaseCalls {
-		b.Label("casehelper")
+		b.Label(lbl("casehelper"))
 		s.emitBody(b, r, 5, 0, 0.3)
 		b.Ret()
 	}
 
-	// Jump table data.
+	// Jump table data, resolved by the caller after layout.
 	if s.Fanout > 0 {
-		p, err := b.Build()
-		if err != nil {
-			return nil, err
-		}
-		words := make([]uint32, s.Fanout)
+		tbl = &pendingTable{base: ctx.tableBase}
 		for c := 0; c < s.Fanout; c++ {
-			a, ok := b.AddrOf(fmt.Sprintf("case%d", c))
-			if !ok {
-				return nil, fmt.Errorf("workload %s: case label missing", s.Name)
-			}
-			words[c] = a
+			tbl.labels = append(tbl.labels, lbl(fmt.Sprintf("case%d", c)))
 		}
-		raw := make([]byte, 4*len(words))
-		for i, w := range words {
-			raw[4*i+0] = byte(w)
-			raw[4*i+1] = byte(w >> 8)
-			raw[4*i+2] = byte(w >> 16)
-			raw[4*i+3] = byte(w >> 24)
-		}
-		p.Data = append(p.Data, guest.DataSeg{Addr: mem.GuestTableBase, Bytes: raw})
-		return p, nil
 	}
-	return b.Build()
+	return tbl
 }
 
 // emitKernelInline emits kernel k as an inline loop.
-func (s Spec) emitKernelInline(b *guest.Builder, r *rand.Rand, k int) {
+func (s Spec) emitKernelInline(b *guest.Builder, r *rand.Rand, ctx emitCtx, k int) {
 	b.MovRI(guest.ECX, int32(s.KernelIter))
-	b.Label(fmt.Sprintf("kloop%d", k))
+	b.Label(ctx.prefix + fmt.Sprintf("kloop%d", k))
 	s.emitBody(b, r, s.KernelLen, s.FPFrac, s.MemFrac)
 	b.Inc(guest.ESI)
 	b.Dec(guest.ECX)
 	b.CmpRI(guest.ECX, 0)
-	b.Jcc(guest.CondG, fmt.Sprintf("kloop%d", k))
+	b.Jcc(guest.CondG, ctx.prefix+fmt.Sprintf("kloop%d", k))
 }
 
 // emitKernelBody emits kernel k's loop for the function form.
-func (s Spec) emitKernelBody(b *guest.Builder, r *rand.Rand, k int) {
+func (s Spec) emitKernelBody(b *guest.Builder, r *rand.Rand, ctx emitCtx, k int) {
 	b.MovRI(guest.ECX, int32(s.KernelIter))
-	b.Label(fmt.Sprintf("kbody%d", k))
+	b.Label(ctx.prefix + fmt.Sprintf("kbody%d", k))
 	s.emitBody(b, r, s.KernelLen, s.FPFrac, s.MemFrac)
 	b.Inc(guest.ESI)
 	b.Dec(guest.ECX)
 	b.CmpRI(guest.ECX, 0)
-	b.Jcc(guest.CondG, fmt.Sprintf("kbody%d", k))
+	b.Jcc(guest.CondG, ctx.prefix+fmt.Sprintf("kbody%d", k))
 }
 
 // emitBody emits n mostly-straight-line instructions mixing integer

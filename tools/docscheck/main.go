@@ -8,6 +8,12 @@
 // Usage:
 //
 //	go run ./tools/docscheck docs/ARCHITECTURE.md docs/EXPERIMENTS.md README.md
+//	go run ./tools/docscheck -must workload.Program,workload.Register docs/*.md
+//
+// -must names identifiers that are required to appear (inside
+// backticks) in at least one of the checked files, so new API surface
+// cannot ship undocumented: each must both exist in its package and be
+// referenced somewhere in the given docs.
 //
 // References are recognized inside backticks as <pkg>.<Exported> with
 // an optional .<Member> tail, where <pkg> is one of the repository's
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -50,8 +57,11 @@ type pkgIndex struct {
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: docscheck <markdown files...>")
+	must := flag.String("must", "", "comma-separated pkg.Ident references that must appear in the checked files")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck [-must pkg.Ident,...] <markdown files...>")
 		os.Exit(2)
 	}
 	root, err := repoRoot()
@@ -70,14 +80,54 @@ func main() {
 	}
 
 	failures := 0
-	for _, path := range os.Args[1:] {
-		for _, bad := range checkFile(path, index) {
+	seen := map[string]bool{}
+	for _, path := range files {
+		for _, bad := range checkFile(path, index, seen) {
 			fmt.Fprintln(os.Stderr, bad)
 			failures++
 		}
 	}
+	if *must != "" {
+		for _, ref := range strings.Split(*must, ",") {
+			ref = strings.TrimSpace(ref)
+			if ref == "" {
+				continue
+			}
+			pkg, rest, ok := strings.Cut(ref, ".")
+			idx := index[pkg]
+			if !ok || idx == nil {
+				fmt.Fprintf(os.Stderr, "docscheck: -must %s: unknown package\n", ref)
+				failures++
+				continue
+			}
+			ident := rest
+			if dot := strings.IndexByte(rest, '.'); dot >= 0 {
+				ident = rest[:dot]
+			}
+			if !idx.idents[ident] {
+				fmt.Fprintf(os.Stderr, "docscheck: -must %s: identifier does not exist\n", ref)
+				failures++
+				continue
+			}
+			if member := strings.TrimPrefix(strings.TrimPrefix(rest, ident), "."); member != "" {
+				first := member
+				if dot := strings.IndexByte(first, '.'); dot >= 0 {
+					first = first[:dot]
+				}
+				if members, isType := idx.members[ident]; isType && !members[first] {
+					fmt.Fprintf(os.Stderr, "docscheck: -must %s: %s has no exported member %s\n", ref, ident, first)
+					failures++
+					continue
+				}
+			}
+			if !seen[ref] {
+				fmt.Fprintf(os.Stderr, "docscheck: -must %s: not documented in any checked file\n", ref)
+				failures++
+			}
+		}
+	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "docscheck: %d stale reference(s)\n", failures)
+		fmt.Fprintf(os.Stderr, "docscheck: %d stale or missing reference(s)\n", failures)
 		os.Exit(1)
 	}
 }
@@ -106,7 +156,9 @@ func repoRoot() (string, error) {
 // file paths) never match.
 var refPattern = regexp.MustCompile("`([a-z][a-z0-9]*)\\.([A-Z][A-Za-z0-9]*)((?:\\.[A-Z][A-Za-z0-9]*)*)`")
 
-func checkFile(path string, index map[string]*pkgIndex) []string {
+// checkFile verifies one markdown file's references and records every
+// resolved pkg.Ident into seen (for -must coverage accounting).
+func checkFile(path string, index map[string]*pkgIndex, seen map[string]bool) []string {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return []string{fmt.Sprintf("%s: %v", path, err)}
@@ -122,6 +174,10 @@ func checkFile(path string, index map[string]*pkgIndex) []string {
 			if !idx.idents[ident] {
 				bad = append(bad, fmt.Sprintf("%s:%d: %s.%s does not exist", path, lineNo+1, pkg, ident))
 				continue
+			}
+			seen[pkg+"."+ident] = true
+			if tail != "" {
+				seen[pkg+"."+ident+tail] = true
 			}
 			if tail == "" {
 				continue

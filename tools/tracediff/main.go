@@ -1,0 +1,108 @@
+// Command tracediff compares the summaries of two darco JSON record
+// files (cmd/darco or cmd/darco-suite -json output) benchmark by
+// benchmark. CI uses it to close the record/replay loop: a run
+// recorded with darco -record and replayed with -workload trace:...
+// must produce byte-equal summaries, because the trace captures the
+// exact guest image the recorded run executed.
+//
+// Usage:
+//
+//	tracediff direct.json replay.json
+//
+// Records are matched by benchmark name; both files must cover the
+// same set. Only the summary digest is compared — scale and mode
+// labels may legitimately differ (a replayed trace always reports
+// scale 1: the image was recorded already scaled).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"repro/internal/darco"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: tracediff <records-a.json> <records-b.json>")
+		os.Exit(2)
+	}
+	a, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(2)
+	}
+	b, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(2)
+	}
+	if len(a) == 0 {
+		fmt.Fprintf(os.Stderr, "tracediff: %s holds no records\n", os.Args[1])
+		os.Exit(2)
+	}
+	failures := 0
+	for name, ra := range a {
+		rb, ok := b[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracediff: %s only in %s\n", name, os.Args[1])
+			failures++
+			continue
+		}
+		if ra.Error != "" || rb.Error != "" {
+			fmt.Fprintf(os.Stderr, "tracediff: %s failed: a=%q b=%q\n", name, ra.Error, rb.Error)
+			failures++
+			continue
+		}
+		if !reflect.DeepEqual(ra.Summary, rb.Summary) {
+			fmt.Fprintf(os.Stderr, "tracediff: %s summaries differ\n", name)
+			diffJSON(ra.Summary, rb.Summary)
+			failures++
+		}
+	}
+	for name := range b {
+		if _, ok := a[name]; !ok {
+			fmt.Fprintf(os.Stderr, "tracediff: %s only in %s\n", name, os.Args[2])
+			failures++
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("tracediff: %d benchmark summaries identical\n", len(a))
+}
+
+func load(path string) (map[string]darco.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := darco.DecodeRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]darco.Record, len(recs))
+	for _, r := range recs {
+		out[r.Benchmark] = r
+	}
+	return out, nil
+}
+
+// diffJSON prints the top-level summary fields that disagree.
+func diffJSON(a, b darco.Summary) {
+	flat := func(s darco.Summary) map[string]any {
+		raw, _ := json.Marshal(s)
+		var m map[string]any
+		json.Unmarshal(raw, &m)
+		return m
+	}
+	ma, mb := flat(a), flat(b)
+	for k, va := range ma {
+		if !reflect.DeepEqual(va, mb[k]) {
+			fmt.Fprintf(os.Stderr, "  %s: %v != %v\n", k, va, mb[k])
+		}
+	}
+}
