@@ -252,6 +252,65 @@ func BenchmarkOptimizePipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkSteadyStateTranslated measures the translated-execution
+// hot path alone: a warmed engine (translations built, chains patched,
+// arenas grown) streaming batches. The b.ReportMetric allocs/step
+// figure must stay at zero — the alloc-regression tests enforce it,
+// this benchmark tracks the cycle cost.
+func BenchmarkSteadyStateTranslated(b *testing.B) {
+	cfg := tol.DefaultConfig()
+	cfg.Cosim = false
+	eng := tol.NewEngine(cfg, buildHotLoop(2_000_000_000))
+	buf := make([]timing.DynInst, 1024)
+	for warmed := 0; warmed < 200_000; {
+		n := eng.NextBatch(buf)
+		if n == 0 {
+			b.Fatal(eng.Err())
+		}
+		warmed += n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for got := 0; got < 10_000; {
+			n := eng.NextBatch(buf)
+			if n == 0 {
+				b.Fatal(eng.Err())
+			}
+			got += n
+		}
+	}
+	b.ReportMetric(10_000, "insts/op")
+}
+
+// BenchmarkSteadyStateInterp measures the interpreter hot path alone
+// (translation disabled via an unreachable threshold): decode-cache
+// hits, cost-stream emission, profile bumps.
+func BenchmarkSteadyStateInterp(b *testing.B) {
+	cfg := tol.DefaultConfig()
+	cfg.Cosim = false
+	cfg.BBThreshold = 1 << 30
+	eng := tol.NewEngine(cfg, buildHotLoop(2_000_000_000))
+	buf := make([]timing.DynInst, 1024)
+	for warmed := 0; warmed < 100_000; {
+		n := eng.NextBatch(buf)
+		if n == 0 {
+			b.Fatal(eng.Err())
+		}
+		warmed += n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for got := 0; got < 10_000; {
+			n := eng.NextBatch(buf)
+			if n == 0 {
+				b.Fatal(eng.Err())
+			}
+			got += n
+		}
+	}
+	b.ReportMetric(10_000, "insts/op")
+}
+
 // BenchmarkSBMOptimizer measures superblock formation + optimization +
 // scheduling via repeated promotion of a fresh engine's hot loop.
 func BenchmarkSBMOptimizer(b *testing.B) {

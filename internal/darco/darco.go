@@ -250,6 +250,10 @@ func (cfg Config) run(ctx context.Context, p *guest.Program) (*Result, error) {
 		return nil, err
 	}
 	eng := tol.NewEngine(cfg.TOL, p)
+	// The engine polls ctx while generating the stream, so cancellation
+	// is honored even when the run is dominated by interpretation and
+	// the timing simulator's own per-batch polls are far apart.
+	eng.SetContext(ctx)
 	sim := timing.NewSimulator(cfg.Timing, cfg.Mode)
 	if cfg.MaxCycles != 0 {
 		sim.MaxCycles = cfg.MaxCycles

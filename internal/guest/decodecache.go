@@ -1,0 +1,48 @@
+package guest
+
+import (
+	"repro/internal/mem"
+)
+
+// decodeCacheEntries is the number of direct-mapped DecodeCache slots.
+// Guest encodings are 1-7 bytes, so consecutive instructions land in
+// distinct slots; 8192 entries cover hot regions far larger than any
+// catalog benchmark's working set of static code.
+const decodeCacheEntries = 8192
+
+// DecodeCache memoizes fetch+decode of guest instructions by EIP, the
+// per-step cost that dominates a tight interpreter loop. Guest code is
+// immutable once loaded (the infrastructure assumes no self-modifying
+// code — translations cache decoded guest instructions under the same
+// assumption), so a decoded instruction can be replayed for every
+// revisit of its address.
+//
+// The cache is direct-mapped: a colliding address simply overwrites
+// the slot. Lookups are exact (tagged by full EIP), so collisions cost
+// a re-decode, never a wrong instruction.
+type DecodeCache struct {
+	tags  [decodeCacheEntries]uint32 // EIP+1; 0 = empty
+	insts [decodeCacheEntries]Inst
+}
+
+// NewDecodeCache returns an empty decode cache.
+func NewDecodeCache() *DecodeCache {
+	return &DecodeCache{}
+}
+
+// Step is Step with fetch+decode served from the cache. Semantics and
+// failure modes are identical to Step on immutable code.
+func (c *DecodeCache) Step(s *State, m mem.Memory, res *StepResult) error {
+	eip := s.EIP
+	idx := eip & (decodeCacheEntries - 1)
+	if c.tags[idx] == eip+1 {
+		return stepDecoded(s, m, &c.insts[idx], res)
+	}
+	inst, err := fetchDecode(eip, m)
+	if err != nil {
+		return err
+	}
+	c.tags[idx] = eip + 1
+	c.insts[idx] = inst
+	return stepDecoded(s, m, &inst, res)
+}

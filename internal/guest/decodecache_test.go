@@ -1,0 +1,68 @@
+package guest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestDecodeCacheStepMatchesStep locks the cached interpreter to the
+// canonical semantics: running the same program through Step and
+// through DecodeCache.Step must produce identical states and
+// StepResults at every instruction, including revisits that hit the
+// cache.
+func TestDecodeCacheStepMatchesStep(t *testing.T) {
+	b := NewBuilder()
+	r := rand.New(rand.NewSource(7))
+	b.Label("start")
+	b.MovRI(EBP, int32(mem.GuestDataBase))
+	b.MovRI(ECX, 300)
+	b.Label("loop")
+	// A body covering several encodings and a data access.
+	b.AddRI(EAX, int32(r.Intn(1000)))
+	b.XorRR(EAX, ECX)
+	b.Store(EBP, 16, EAX)
+	b.Load(EBX, EBP, 16)
+	b.Shl(EBX, 3)
+	b.TestRR(EBX, EBX)
+	b.Jcc(CondS, "skip")
+	b.Inc(ESI)
+	b.Label("skip")
+	b.Dec(ECX)
+	b.CmpRI(ECX, 0)
+	b.Jcc(CondG, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1, m2 := mem.NewSparse(), mem.NewSparse()
+	s1 := p.LoadInto(m1)
+	s2 := p.LoadInto(m2)
+	dc := NewDecodeCache()
+	for step := 0; ; step++ {
+		var r1, r2 StepResult
+		err1 := Step(&s1, m1, &r1)
+		err2 := dc.Step(&s2, m2, &r2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("step %d: errors diverge: %v vs %v", step, err1, err2)
+		}
+		if err1 != nil {
+			break
+		}
+		if r1 != r2 {
+			t.Fatalf("step %d: StepResult diverges:\n plain:  %+v\n cached: %+v", step, r1, r2)
+		}
+		if !s1.Equal(&s2) {
+			t.Fatalf("step %d: state diverges: %s", step, s1.Diff(&s2))
+		}
+		if r1.Halted {
+			break
+		}
+		if step > 1_000_000 {
+			t.Fatal("program did not halt")
+		}
+	}
+}

@@ -77,15 +77,37 @@ type StepResult struct {
 // Division by zero yields an all-ones quotient rather than a fault: the
 // modeled system skips exception handling (as the paper's infrastructure
 // does for non user-level events), so semantics are defined totally.
+//
+// Hot per-instruction loops should prefer DecodeCache.Step, which
+// executes the same semantics but skips re-fetching and re-decoding
+// instruction bytes already seen.
 func Step(s *State, m mem.Memory, res *StepResult) error {
+	inst, err := fetchDecode(s.EIP, m)
+	if err != nil {
+		return err
+	}
+	return stepDecoded(s, m, &inst, res)
+}
+
+// fetchDecode reads and decodes the instruction at eip — the shared
+// front half of Step and DecodeCache.Step.
+func fetchDecode(eip uint32, m mem.Memory) (Inst, error) {
 	var buf [MaxInstSize]byte
 	for i := range buf {
-		buf[i] = m.Read8(s.EIP + uint32(i))
+		buf[i] = m.Read8(eip + uint32(i))
 	}
 	inst, err := Decode(buf[:])
 	if err != nil {
-		return fmt.Errorf("at eip=%#x: %w", s.EIP, err)
+		return inst, fmt.Errorf("at eip=%#x: %w", eip, err)
 	}
+	return inst, nil
+}
+
+// stepDecoded executes one already-decoded instruction at s.EIP. It is
+// the shared back half of Step and DecodeCache.Step: everything after
+// fetch+decode, so cached and uncached execution are one code path.
+func stepDecoded(s *State, m mem.Memory, instp *Inst, res *StepResult) error {
+	inst := *instp
 	*res = StepResult{Inst: inst}
 	next := s.EIP + uint32(inst.Size)
 

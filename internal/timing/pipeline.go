@@ -57,9 +57,29 @@ type Simulator struct {
 	fetchBlockComp  Component
 	lastFetchLine   [NumOwners]uint32
 	haveFetchLine   [NumOwners]bool
-	pending         DynInst // next instruction (already pulled) awaiting I$
-	havePending     bool
-	streamDone      bool
+	// pending points at the next instruction (already pulled, awaiting
+	// I$) inside the batch buffer; nil when none. The batch is only
+	// refilled after the pointee is consumed into the IQ, so the
+	// reference stays valid without copying the instruction out.
+	pending    *DynInst
+	streamDone bool
+
+	// Stream batching: instructions are pulled from the source in
+	// slices of cfg.StreamBatch (see BatchSource) into batch, and fetch
+	// consumes them one by one without further interface calls. runCtx
+	// is polled once per refill; a cancellation observed there is
+	// published through ctxErr and surfaced by the cycle loop.
+	batch    []DynInst
+	batchPos int
+	batchLen int
+	src      StreamSource
+	bsrc     BatchSource
+	runCtx   context.Context
+	ctxErr   error
+
+	// nextProgress is the cycle of the next Progress report (avoids a
+	// modulo in the cycle loop).
+	nextProgress uint64
 
 	// stalledBranch counts IQ entries (from the head) up to and
 	// including the mispredicted branch fetch is waiting on; -1 if none.
@@ -89,16 +109,24 @@ const defaultProgressEvery = 1 << 22
 // ctxCheckMask throttles context-cancellation polls inside the cycle
 // loop: the context is consulted every ctxCheckMask+1 cycles, so a
 // cancelled RunContext returns within a few thousand simulated cycles
-// (microseconds of host time) instead of waiting for MaxCycles.
+// (microseconds of host time) instead of waiting for MaxCycles. The
+// primary poll site is the per-batch refill (see nextInst); this
+// cycle-count poll bounds the abort latency of long stream-free
+// stretches (pipeline drain, bubble runs) as well.
 const ctxCheckMask = 1<<13 - 1
 
 // NewSimulator builds a simulator for the given configuration and mode.
 func NewSimulator(cfg Config, mode Mode) *Simulator {
+	batch := cfg.StreamBatch
+	if batch <= 0 {
+		batch = DefaultStreamBatch
+	}
 	s := &Simulator{
 		cfg:           cfg,
 		mode:          mode,
 		iq:            make([]iqEntry, cfg.IQSize),
 		stalledBranch: -1,
+		batch:         make([]DynInst, batch),
 	}
 	sets := 1
 	if mode == ModeSplit {
@@ -136,16 +164,33 @@ func (s *Simulator) skip(o Owner) bool {
 }
 
 func (s *Simulator) iqAt(i int) *iqEntry {
-	return &s.iq[(s.iqHead+i)%len(s.iq)]
+	idx := s.iqHead + i
+	if idx >= len(s.iq) {
+		idx -= len(s.iq)
+	}
+	return &s.iq[idx]
 }
 
-func (s *Simulator) iqPush(e iqEntry) {
-	s.iq[(s.iqHead+s.iqCount)%len(s.iq)] = e
+// iqPush appends *d to the queue tail and returns the stored entry so
+// fetch can predict/flag it in place — one copy from the batch buffer
+// into the ring, no intermediates.
+func (s *Simulator) iqPush(d *DynInst) *iqEntry {
+	idx := s.iqHead + s.iqCount
+	if idx >= len(s.iq) {
+		idx -= len(s.iq)
+	}
+	e := &s.iq[idx]
+	e.inst = *d
+	e.mispredict = false
 	s.iqCount++
+	return e
 }
 
 func (s *Simulator) iqPop() {
-	s.iqHead = (s.iqHead + 1) % len(s.iq)
+	s.iqHead++
+	if s.iqHead == len(s.iq) {
+		s.iqHead = 0
+	}
 	s.iqCount--
 	if s.stalledBranch > 0 {
 		s.stalledBranch--
@@ -211,31 +256,46 @@ func (s *Simulator) Run(src StreamSource) (*Result, error) {
 }
 
 // RunContext consumes the stream to completion and returns the
-// results. Cancellation is checked inside the cycle loop (throttled to
-// every few thousand cycles), so cancelling ctx aborts a simulation
-// promptly with ctx.Err() regardless of MaxCycles.
+// results. Cancellation is polled at every stream-batch refill and,
+// as a fallback, every few thousand cycles inside the cycle loop, so
+// cancelling ctx aborts a simulation promptly with ctx.Err()
+// regardless of MaxCycles.
 func (s *Simulator) RunContext(ctx context.Context, src StreamSource) (*Result, error) {
 	progressEvery := s.ProgressEvery
 	if progressEvery == 0 {
 		progressEvery = defaultProgressEvery
 	}
+	s.nextProgress = progressEvery
+	s.runCtx = ctx
+	s.src = src
+	s.bsrc, _ = src.(BatchSource)
+	defer func() { s.runCtx, s.src, s.bsrc = nil, nil, nil }()
 	for {
+		if s.ctxErr != nil {
+			return nil, s.ctxErr
+		}
 		if s.cycle&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		if s.Progress != nil && s.cycle%progressEvery == 0 && s.cycle > 0 {
+		if s.Progress != nil && s.cycle == s.nextProgress {
 			s.Progress(s.cycle, s.res.TotalInsts())
+			s.nextProgress += progressEvery
 		}
 		if s.MaxCycles != 0 && s.cycle > s.MaxCycles {
 			return nil, fmt.Errorf("timing: exceeded MaxCycles=%d at %d retired insts",
 				s.MaxCycles, s.res.TotalInsts())
 		}
-		s.fetch(src)
+		s.fetch()
 		issued := s.issue()
 		if issued == 0 {
-			if s.streamDone && !s.havePending && s.iqCount == 0 {
+			if s.streamDone && s.pending == nil && s.iqCount == 0 {
+				// A refill-time cancellation also ends the stream; it
+				// must surface as the error, not as a truncated Result.
+				if s.ctxErr != nil {
+					return nil, s.ctxErr
+				}
 				break
 			}
 			s.accountBubble()
@@ -246,8 +306,29 @@ func (s *Simulator) RunContext(ctx context.Context, src StreamSource) (*Result, 
 	return &s.res, nil
 }
 
+// refill pulls the next batch from the source. Sources implementing
+// BatchSource fill the buffer in one call; plain StreamSources are
+// drained item-wise into the same buffer so the cycle loop sees a
+// single shape either way.
+func (s *Simulator) refill() bool {
+	if err := s.runCtx.Err(); err != nil {
+		s.ctxErr = err
+		return false
+	}
+	var n int
+	if s.bsrc != nil {
+		n = s.bsrc.NextBatch(s.batch)
+	} else {
+		for n < len(s.batch) && s.src.Next(&s.batch[n]) {
+			n++
+		}
+	}
+	s.batchPos, s.batchLen = 0, n
+	return n > 0
+}
+
 // fetch advances the front end for one cycle.
-func (s *Simulator) fetch(src StreamSource) {
+func (s *Simulator) fetch() {
 	switch s.fetchState {
 	case fetchIMiss, fetchRedirect:
 		if s.cycle < s.fetchReadyAt {
@@ -259,17 +340,24 @@ func (s *Simulator) fetch(src StreamSource) {
 	}
 
 	for fetched := 0; fetched < s.cfg.IssueWidth && s.iqCount < s.cfg.IQSize; fetched++ {
-		if !s.havePending {
+		if s.pending == nil {
+			// Pull the next non-skipped instruction straight from the
+			// batch buffer; refill (one source call per cfg.StreamBatch
+			// instructions, with a context poll) only when it drains.
 			for {
-				if !src.Next(&s.pending) {
-					s.streamDone = true
-					return
+				if s.batchPos >= s.batchLen {
+					if !s.refill() {
+						s.streamDone = true
+						return
+					}
 				}
-				if !s.skip(s.pending.Owner) {
+				p := &s.batch[s.batchPos]
+				s.batchPos++
+				if !s.skip(p.Owner) {
+					s.pending = p
 					break
 				}
 			}
-			s.havePending = true
 		}
 		// Instruction cache.
 		if stall := s.instAccess(s.pending.PC, s.pending.Owner); stall > 0 {
@@ -279,13 +367,10 @@ func (s *Simulator) fetch(src StreamSource) {
 			s.fetchBlockComp = s.pending.Comp
 			return
 		}
-		entry := iqEntry{inst: s.pending}
-		s.havePending = false
+		entry := s.iqPush(s.pending)
+		s.pending = nil
 		if entry.inst.IsBranch && !s.bp[s.setIdx(entry.inst.Owner)].PredictAndTrain(&entry.inst) {
 			entry.mispredict = true
-		}
-		s.iqPush(entry)
-		if entry.mispredict {
 			// Fetch stops until this branch resolves in EXE.
 			s.fetchState = fetchBranchWait
 			s.stalledBranch = s.iqCount - 1

@@ -88,6 +88,18 @@ type StreamSource interface {
 	Next(d *DynInst) bool
 }
 
+// BatchSource is the bulk-transfer fast path of StreamSource: NextBatch
+// fills a prefix of buf and returns how many instructions it wrote (0 =
+// stream end). The simulator consumes sources through slices of
+// Config.StreamBatch instructions at a time, so a source implementing
+// BatchSource pays one call and one memory copy per batch instead of an
+// interface call per instruction. The delivered instruction sequence
+// must be identical to the Next sequence — batching is transport, not
+// semantics — which the stream-equality tests pin.
+type BatchSource interface {
+	NextBatch(buf []DynInst) int
+}
+
 // SliceSource adapts a materialized trace to StreamSource, mainly for
 // tests and microbenchmarks.
 type SliceSource struct {
@@ -105,35 +117,60 @@ func (s *SliceSource) Next(d *DynInst) bool {
 	return true
 }
 
+// NextBatch implements BatchSource.
+func (s *SliceSource) NextBatch(buf []DynInst) int {
+	n := copy(buf, s.Insts[s.pos:])
+	s.pos += n
+	return n
+}
+
 // FillFromHost populates the ISA-derived fields of d from a decoded
 // host instruction and its execution outcome. Owner/Comp are left for
 // the caller.
 func FillFromHost(d *DynInst, pc uint32, hi *host.Inst, out *host.Outcome) {
-	d.PC = pc
-	d.Class = hi.Class()
-	d.Dst, d.Src1, d.Src2 = operandRegs(hi)
-	d.IsLoad = out.IsLoad
-	d.IsStore = out.IsStore
+	TemplateFromHost(d, pc, hi)
 	d.MemAddr = out.MemAddr
-	d.IsBranch = hi.IsBranch()
-	d.IsCond = hi.IsCondBranch()
-	d.IsIndirect = hi.IsIndirect()
 	d.Taken = out.Taken
 	d.Target = out.Target
 }
 
+// TemplateFromHost fills the execution-invariant fields of d for a
+// decoded host instruction: everything FillFromHost produces except
+// the per-execution MemAddr/Taken/Target (zeroed here) and the
+// caller's Owner/Comp attribution. IsLoad/IsStore are static
+// per-opcode properties, so a template plus the three dynamic fields
+// reproduces FillFromHost exactly — the basis of the code cache's
+// precomputed dispatch metadata.
+func TemplateFromHost(d *DynInst, pc uint32, hi *host.Inst) {
+	d.PC = pc
+	d.Class = hi.Class()
+	d.Dst, d.Src1, d.Src2 = operandRegs(hi)
+	d.IsLoad = hi.IsLoad()
+	d.IsStore = hi.IsStore()
+	d.MemAddr = 0
+	d.IsBranch = hi.IsBranch()
+	d.IsCond = hi.IsCondBranch()
+	d.IsIndirect = hi.IsIndirect()
+	d.Taken = false
+	d.Target = 0
+}
+
+// intReg and fpReg map host registers into the unified scoreboard
+// namespace. The integer register r0 is hardwired zero and is reported
+// as RegNone so it never creates dependencies.
+func intReg(r host.Reg) uint8 {
+	if r == host.RZero {
+		return RegNone
+	}
+	return uint8(r)
+}
+
+func fpReg(r host.Reg) uint8 { return fpRegBase + uint8(r) }
+
 // operandRegs maps a host instruction to its scoreboard operands in the
-// unified namespace. The integer register r0 is hardwired zero and is
-// reported as RegNone so it never creates dependencies.
+// unified namespace.
 func operandRegs(hi *host.Inst) (dst, src1, src2 uint8) {
 	dst, src1, src2 = RegNone, RegNone, RegNone
-	intReg := func(r host.Reg) uint8 {
-		if r == host.RZero {
-			return RegNone
-		}
-		return uint8(r)
-	}
-	fpReg := func(r host.Reg) uint8 { return fpRegBase + uint8(r) }
 
 	switch hi.Op {
 	case host.Nop, host.Halt:

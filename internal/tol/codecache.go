@@ -201,7 +201,16 @@ type EvictEvent struct {
 // can reach them (translation table, IBTC, chain patches in surviving
 // code), and the freed extents are reused first-fit.
 type CodeCache struct {
-	insts   []host.Inst
+	insts []host.Inst
+	// meta is the threaded-dispatch arena: for every placed instruction
+	// slot, the precomputed timing.DynInst template (class, scoreboard
+	// operands, branch/memory kind, owner and component attribution).
+	// The engine's translated-execution loop copies meta[slot] and
+	// patches only the per-execution MemAddr/Taken/Target fields, so
+	// re-entering BBM/SBM code performs no per-instruction decoding or
+	// attribution work. Maintained in lockstep with insts by PlaceAt,
+	// Patch and Evict (chain restore).
+	meta    []timing.DynInst
 	top     uint32 // bump-allocation frontier (== len(insts))
 	byEntry map[uint32]*Translation
 	all     []*Translation // sorted by HostEntry
@@ -237,8 +246,11 @@ type extent struct {
 
 // NewCodeCache returns an empty unbounded code cache.
 func NewCodeCache() *CodeCache {
+	// The arenas start small and double on demand: short runs stay
+	// cheap to construct, long runs amortize the growth copies.
 	return &CodeCache{
-		insts:    make([]host.Inst, 0, 1<<16),
+		insts:    make([]host.Inst, 0, 1<<12),
+		meta:     make([]timing.DynInst, 0, 1<<12),
 		byEntry:  make(map[uint32]*Translation),
 		capacity: archCapacityInsts,
 	}
@@ -289,6 +301,16 @@ func (c *CodeCache) Contains(pc uint32) bool {
 	return pc >= mem.CodeCacheBase && pc < mem.CodeCacheBase+mem.CodeCacheSize
 }
 
+// rebuildMeta recomputes the dispatch template for one placed slot
+// with the given owner/component attribution. Called whenever the
+// instruction at the slot changes (placement, chain patch, chain
+// restore on eviction).
+func (c *CodeCache) rebuildMeta(slot uint32, owner timing.Owner, comp timing.Component) {
+	d := &c.meta[slot]
+	timing.TemplateFromHost(d, c.PCOf(slot), &c.insts[slot])
+	d.Owner, d.Comp = owner, comp
+}
+
 // InstAt implements host.CodeStore.
 func (c *CodeCache) InstAt(pc uint32) *host.Inst {
 	if !c.Contains(pc) {
@@ -320,6 +342,7 @@ func (c *CodeCache) Alloc(n int) (uint32, error) {
 			slot := c.top
 			c.top += uint32(n)
 			c.insts = append(c.insts, make([]host.Inst, n)...)
+			c.meta = append(c.meta, make([]timing.DynInst, n)...)
 			return c.PCOf(slot), nil
 		}
 		if c.policy == nil {
@@ -392,6 +415,11 @@ func (c *CodeCache) PlaceAt(base uint32, tr *Translation, code []host.Inst,
 	tr.HostEnd = base + uint32(len(code))*host.InstBytes
 	tr.BodyStart = c.PCOf(slot + uint32(bodyStartIdx))
 	tr.StubStart = c.PCOf(slot + uint32(stubStartIdx))
+	for i := range code {
+		s := slot + uint32(i)
+		o, comp := tr.OwnerComp(c.PCOf(s))
+		c.rebuildMeta(s, o, comp)
+	}
 	tr.Exits = make(map[uint32]*ExitInfo, len(exitsAtIdx))
 	for idx, e := range exitsAtIdx {
 		tr.Exits[c.PCOf(slot+uint32(idx))] = e
@@ -461,6 +489,7 @@ func (c *CodeCache) Evict(victims []*Translation) int {
 		lo, hi := c.slotOf(tr.HostEntry), c.slotOf(tr.HostEnd)
 		for s := lo; s < hi; s++ {
 			c.insts[s] = host.Inst{Op: host.NumOps} // poison: faults on execution
+			c.meta[s] = timing.DynInst{}
 		}
 		c.addFree(lo, hi)
 		c.used -= int(hi - lo)
@@ -486,7 +515,10 @@ func (c *CodeCache) Evict(victims []*Translation) int {
 			if c.byEntry[ref.from.HostEntry] != ref.from {
 				continue
 			}
-			c.insts[c.slotOf(ref.pc)] = ref.orig
+			rslot := c.slotOf(ref.pc)
+			c.insts[rslot] = ref.orig
+			o, comp := ref.from.OwnerComp(ref.pc)
+			c.rebuildMeta(rslot, o, comp)
 			if ref.exit != nil {
 				ref.exit.Chained = false
 			} else {
@@ -503,6 +535,7 @@ func (c *CodeCache) Evict(victims []*Translation) int {
 		// Nothing survived: reset the arena so the bump frontier
 		// restarts at the base (the classic full-flush shape).
 		c.insts = c.insts[:0]
+		c.meta = c.meta[:0]
 		c.top = 0
 		c.free = nil
 	}
@@ -579,6 +612,8 @@ func (c *CodeCache) Patch(pc uint32, target uint32) error {
 	// jal r0, offset — offset relative to the next instruction.
 	off := int32(target) - int32(pc+host.InstBytes)
 	c.insts[slot] = host.Inst{Op: host.Jal, Rd: host.RZero, Imm: off}
+	o, comp := src.OwnerComp(pc)
+	c.rebuildMeta(slot, o, comp)
 	if dst := c.byEntry[target]; dst != nil && dst != src {
 		dst.incoming = append(dst.incoming, chainRef{
 			from: src, pc: pc, orig: orig, exit: src.Exits[pc],

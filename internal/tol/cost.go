@@ -415,13 +415,29 @@ func (c *costEmitter) Init() {
 	}
 }
 
-// dynQueue is the engine's pending dynamic-instruction buffer.
+// dynQueue is the engine's pending dynamic-instruction buffer. The
+// backing array is an arena: it grows to the drain threshold once and
+// is then reused for the rest of the run, so steady-state execution
+// pushes and pops without allocating.
 type dynQueue struct {
 	buf  []timing.DynInst
 	head int
 }
 
 func (q *dynQueue) push(d timing.DynInst) { q.buf = append(q.buf, d) }
+
+// alloc extends the queue by one slot and returns it for in-place
+// filling, saving the construct-then-copy of push on the hottest
+// paths. The slot holds stale data; callers must overwrite every field
+// (translated execution copies a full template over it).
+func (q *dynQueue) alloc() *timing.DynInst {
+	if len(q.buf) < cap(q.buf) {
+		q.buf = q.buf[:len(q.buf)+1]
+	} else {
+		q.buf = append(q.buf, timing.DynInst{})
+	}
+	return &q.buf[len(q.buf)-1]
+}
 
 func (q *dynQueue) pop(d *timing.DynInst) bool {
 	if q.head >= len(q.buf) {
@@ -434,6 +450,19 @@ func (q *dynQueue) pop(d *timing.DynInst) bool {
 		q.head = 0
 	}
 	return true
+}
+
+// popBatch moves up to len(buf) queued instructions into buf in one
+// copy, returning how many moved — the engine side of
+// timing.BatchSource.
+func (q *dynQueue) popBatch(buf []timing.DynInst) int {
+	n := copy(buf, q.buf[q.head:])
+	q.head += n
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return n
 }
 
 func (q *dynQueue) empty() bool { return q.head >= len(q.buf) }

@@ -1,6 +1,7 @@
 package tol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -29,6 +30,13 @@ type Engine struct {
 	CPU     *host.CPU
 	GuestV  mem.GuestView
 
+	// guestMem is GuestV pre-converted to the mem.Memory interface.
+	// GuestV is a two-word struct, so converting it at every
+	// interpreter step would heap-allocate; the conversion is hoisted
+	// here once instead (the interpreter loop must stay allocation-free
+	// per step).
+	guestMem mem.Memory
+
 	CC    *CodeCache
 	TT    *TransTable
 	IB    *IBTC
@@ -38,11 +46,24 @@ type Engine struct {
 	cost  *costEmitter
 	queue dynQueue
 
+	// dec memoizes guest fetch+decode per EIP so IM revisits of a
+	// basic block skip re-decoding (guest code is immutable).
+	dec *guest.DecodeCache
+
 	gs           guest.State // canonical guest state while in IM
 	inTranslated bool
 	curTrans     *Translation
 	halted       bool
 	err          error
+
+	// ctx, when non-nil, is polled every ctxPollSteps units of forward
+	// progress (interpreted steps / translated bursts), so even an
+	// interpreter-dominated run with no timing simulator attached
+	// honors cancellation. A cancellation surfaces as the run error
+	// (errors.Is-compatible with the context's error) and ends the
+	// stream.
+	ctx       context.Context
+	ctxPollIn int
 
 	shadow   *x86emu.Emulator
 	promoted map[uint32]*Translation
@@ -58,6 +79,13 @@ type Engine struct {
 // queueDrainThreshold bounds how much stream the engine buffers before
 // letting the timing simulator drain it.
 const queueDrainThreshold = 4096
+
+// ctxPollSteps is how many units of engine forward progress (IM steps
+// or translated-execution bursts) pass between context polls. One unit
+// emits tens to thousands of stream instructions, so cancellation is
+// observed within microseconds of host time without a poll in the
+// per-instruction loops.
+const ctxPollSteps = 1024
 
 // NewEngine builds the co-design component for a guest program. An
 // invalid configuration (unknown pass or promotion-policy names, bad
@@ -76,8 +104,10 @@ func NewEngine(cfg Config, p *guest.Program) *Engine {
 		IB:      NewIBTC(hm),
 		Prof:    NewProfileTable(hm),
 
+		dec:      guest.NewDecodeCache(),
 		promoted: make(map[uint32]*Translation),
 	}
+	e.guestMem = e.GuestV
 	if err := e.Cfg.Validate(); err != nil {
 		e.fail("%v", err)
 		return e
@@ -119,19 +149,71 @@ func (e *Engine) Next(d *timing.DynInst) bool {
 		if e.halted || e.err != nil {
 			return false
 		}
-		if e.inTranslated {
-			e.runTranslated()
-		} else {
-			e.stepIM()
+		e.generate()
+	}
+}
+
+// NextBatch implements timing.BatchSource: it moves queued stream
+// instructions into buf wholesale, generating more only when the
+// queue runs dry. One call replaces up to len(buf) per-instruction
+// interface calls, which is the transport half of the batched
+// simulate path.
+func (e *Engine) NextBatch(buf []timing.DynInst) int {
+	for {
+		if n := e.queue.popBatch(buf); n > 0 {
+			return n
+		}
+		if e.halted || e.err != nil {
+			return 0
+		}
+		e.generate()
+	}
+}
+
+// generate advances the co-design component by one unit of forward
+// progress (an interpreted step or a translated-execution burst),
+// polling the attached context every ctxPollSteps units.
+func (e *Engine) generate() {
+	if e.ctx != nil {
+		if e.ctxPollIn--; e.ctxPollIn <= 0 {
+			e.ctxPollIn = ctxPollSteps
+			if err := e.ctx.Err(); err != nil {
+				e.cancelErr(err)
+				return
+			}
 		}
 	}
+	if e.inTranslated {
+		e.runTranslated()
+	} else {
+		e.stepIM()
+	}
+}
+
+// SetContext attaches a context the engine polls while generating the
+// stream; cancelling it aborts the run with the context's error. The
+// controller installs the Run context here so interpreter-dominated
+// runs (e.g. -O0 with everything below the translation threshold) are
+// as promptly cancellable as timing-bound ones.
+func (e *Engine) SetContext(ctx context.Context) {
+	e.ctx = ctx
+	e.ctxPollIn = 1 // poll on the first generate after attach
 }
 
 // Run drives the engine to completion without a timing simulator,
 // discarding the stream. Useful for functional tests.
 func (e *Engine) Run() error {
-	var d timing.DynInst
-	for e.Next(&d) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run honoring cancellation: the context is polled
+// between generation units even though no timing simulator is
+// attached, so a guest stuck in an interpreter loop cannot outlive
+// its caller.
+func (e *Engine) RunContext(ctx context.Context) error {
+	e.SetContext(ctx)
+	var buf [256]timing.DynInst
+	for e.NextBatch(buf[:]) > 0 {
 	}
 	return e.err
 }
@@ -139,6 +221,15 @@ func (e *Engine) Run() error {
 func (e *Engine) fail(format string, args ...any) {
 	if e.err == nil {
 		e.err = fmt.Errorf(format, args...)
+	}
+}
+
+// cancelErr records a context cancellation as the run error, keeping
+// the original error value so errors.Is(err, context.Canceled) holds
+// for callers.
+func (e *Engine) cancelErr(err error) {
+	if e.err == nil {
+		e.err = err
 	}
 }
 
@@ -177,7 +268,7 @@ func (e *Engine) stepIM() {
 	}
 	eip := e.gs.EIP
 	var res guest.StepResult
-	if err := guest.Step(&e.gs, e.GuestV, &res); err != nil {
+	if err := e.dec.Step(&e.gs, e.guestMem, &res); err != nil {
 		e.fail("tol: interpreter: %v", err)
 		return
 	}
@@ -324,40 +415,66 @@ func (e *Engine) enterTranslated(hostEntry uint32) {
 
 // runTranslated executes host instructions from the code cache until
 // control returns to TOL, the stream buffer fills, or the guest halts.
+//
+// This is the hottest loop of the simulator, structured as threaded
+// dispatch over the code cache's precomputed metadata: each iteration
+// indexes the instruction and its timing.DynInst template by slot,
+// executes, copies the template into the stream arena in place, and
+// patches only the per-execution fields. No per-instruction decoding,
+// classification, attribution or map lookups happen here; translation
+// crossings take the map path only when the target leaves the current
+// translation's address range.
 func (e *Engine) runTranslated() {
 	cpu := e.CPU
+	cc := e.CC
+	insts, meta := cc.insts, cc.meta
+	curLo, curHi := e.curTrans.HostEntry, e.curTrans.HostEnd
+	var out host.Outcome
 	for {
 		pc := cpu.PC
-		inst := e.CC.InstAt(pc)
-		if inst == nil {
+		slot := (pc - mem.CodeCacheBase) / host.InstBytes
+		if pc < mem.CodeCacheBase || slot >= uint32(len(insts)) {
 			e.fail("tol: execution outside code cache at %#x (translation %#x)", pc, e.curTrans.HostEntry)
 			return
 		}
-		var out host.Outcome
-		if err := cpu.Exec(inst, &out); err != nil {
+		if err := cpu.Exec(&insts[slot], &out); err != nil {
 			e.fail("tol: host exec: %v", err)
 			return
 		}
-		var d timing.DynInst
-		timing.FillFromHost(&d, pc, inst, &out)
-		d.Owner, d.Comp = e.curTrans.OwnerComp(pc)
-		e.queue.push(d)
+		d := e.queue.alloc()
+		*d = meta[slot]
+		d.MemAddr = out.MemAddr
+		d.Taken = out.Taken
+		d.Target = out.Target
 
 		if out.Taken {
-			if out.Target == TOLEntry {
+			target := out.Target
+			if target == TOLEntry {
 				e.handleExit(pc)
 				return
 			}
-			if tr := e.CC.EntryAt(out.Target); tr != nil && (out.Target != pc || tr != e.curTrans) {
-				// Crossing into another translation (chaining, IBTC hit,
-				// self-loop back edge): account the exit and continue.
-				if !e.accountExit(pc) {
-					return
+			// A taken branch landing strictly inside the current
+			// translation (not on its entry) cannot be entering another
+			// one — live translations occupy disjoint ranges — so the
+			// entry lookup is needed only for external targets and for
+			// the current entry itself (self-loop back edge).
+			if target-curLo >= curHi-curLo || target == curLo {
+				tr := e.curTrans
+				if target != curLo {
+					tr = cc.byEntry[target]
 				}
-				e.curTrans = tr
-				e.CC.Touch(tr)
-				if e.budgetExceeded() {
-					return
+				if tr != nil && (target != pc || tr != e.curTrans) {
+					// Crossing into another translation (chaining, IBTC hit,
+					// self-loop back edge): account the exit and continue.
+					if !e.accountExit(pc) {
+						return
+					}
+					e.curTrans = tr
+					curLo, curHi = tr.HostEntry, tr.HostEnd
+					cc.Touch(tr)
+					if e.budgetExceeded() {
+						return
+					}
 				}
 			}
 		}
@@ -385,6 +502,13 @@ func (e *Engine) accountExit(pc uint32) bool {
 		e.fail("tol: unknown exit at %#x from translation %#x", pc, e.curTrans.HostEntry)
 		return false
 	}
+	return e.accountExitInfo(pc, info)
+}
+
+// accountExitInfo is accountExit with the exit descriptor already
+// resolved, so paths that needed the descriptor anyway (handleExit)
+// do not look it up twice.
+func (e *Engine) accountExitInfo(pc uint32, info *ExitInfo) bool {
 	if info.Retired > 0 {
 		switch e.curTrans.Kind {
 		case KindBB:
@@ -426,7 +550,7 @@ func (e *Engine) handleExit(pc uint32) {
 		e.fail("tol: unknown TOL transition at %#x", pc)
 		return
 	}
-	if !e.accountExit(pc) {
+	if !e.accountExitInfo(pc, info) {
 		return
 	}
 	e.Stats.Transitions++

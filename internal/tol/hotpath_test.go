@@ -1,0 +1,157 @@
+package tol
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/guest"
+	"repro/internal/timing"
+)
+
+func hotLoopProgram(t *testing.T, iters int32) *guest.Program {
+	t.Helper()
+	b := guest.NewBuilder()
+	b.Label("start")
+	b.MovRI(guest.EAX, 0)
+	b.MovRI(guest.ECX, iters)
+	b.Label("loop")
+	b.AddRR(guest.EAX, guest.ECX)
+	b.XorRI(guest.EAX, 0x55)
+	b.Dec(guest.ECX)
+	b.CmpRI(guest.ECX, 0)
+	b.Jcc(guest.CondNE, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBatchedStreamEqualsUnbatched pins the batching invariant: the
+// instruction sequence delivered through NextBatch is exactly the
+// sequence delivered through Next, element for element — batching is
+// transport, not semantics.
+func TestBatchedStreamEqualsUnbatched(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cosim = false
+	cfg.SBThreshold = 50
+
+	p := hotLoopProgram(t, 500)
+	var viaNext []timing.DynInst
+	e1 := NewEngine(cfg, p)
+	var d timing.DynInst
+	for e1.Next(&d) {
+		viaNext = append(viaNext, d)
+	}
+	if err := e1.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var viaBatch []timing.DynInst
+	e2 := NewEngine(cfg, p)
+	buf := make([]timing.DynInst, 97) // odd size: batches straddle bursts
+	for {
+		n := e2.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		viaBatch = append(viaBatch, buf[:n]...)
+	}
+	if err := e2.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(viaNext) != len(viaBatch) {
+		t.Fatalf("stream lengths differ: Next=%d NextBatch=%d", len(viaNext), len(viaBatch))
+	}
+	for i := range viaNext {
+		if viaNext[i] != viaBatch[i] {
+			t.Fatalf("stream diverges at %d:\n next:  %+v\n batch: %+v", i, viaNext[i], viaBatch[i])
+		}
+	}
+	if !reflect.DeepEqual(e1.Stats.Summary(), e2.Stats.Summary()) {
+		t.Error("Stats differ between Next and NextBatch consumption")
+	}
+}
+
+// drainSteady pulls n instructions from a warmed engine, failing the
+// test on a run error.
+func drainSteady(t *testing.T, e *Engine, buf []timing.DynInst, n int) {
+	t.Helper()
+	for got := 0; got < n; {
+		k := e.NextBatch(buf)
+		if k == 0 {
+			t.Fatalf("stream ended early (err=%v)", e.Err())
+		}
+		got += k
+	}
+}
+
+// TestSteadyStateZeroAllocsTranslated asserts the translated-execution
+// hot path allocates nothing per instruction once warmed up: the
+// stream arena, dispatch metadata and decode cache are all
+// preallocated or amortized.
+func TestSteadyStateZeroAllocsTranslated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cosim = false
+	e := NewEngine(cfg, hotLoopProgram(t, 2_000_000))
+	buf := make([]timing.DynInst, 512)
+	drainSteady(t, e, buf, 200_000) // warm: translate, chain, fill arenas
+
+	allocs := testing.AllocsPerRun(20, func() {
+		drainSteady(t, e, buf, 10_000)
+	})
+	if allocs != 0 {
+		t.Errorf("translated steady state: %.1f allocs per 10k-inst batch, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocsInterp asserts the interpreter loop
+// (translation disabled via an unreachable threshold) allocates
+// nothing per step in steady state.
+func TestSteadyStateZeroAllocsInterp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cosim = false
+	cfg.BBThreshold = 1 << 30 // never translate: pure IM
+	e := NewEngine(cfg, hotLoopProgram(t, 2_000_000))
+	buf := make([]timing.DynInst, 512)
+	drainSteady(t, e, buf, 100_000) // warm: profile slots, static marks
+
+	allocs := testing.AllocsPerRun(20, func() {
+		drainSteady(t, e, buf, 10_000)
+	})
+	if allocs != 0 {
+		t.Errorf("interpreter steady state: %.1f allocs per 10k-inst batch, want 0", allocs)
+	}
+}
+
+// TestEngineRunContextCancelled pins the interpreter-only cancellation
+// contract: an engine driven without a timing simulator (the -O0 /
+// IM-dominated shape) honors context cancellation from inside its
+// generation loop instead of interpreting to completion.
+func TestEngineRunContextCancelled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cosim = false
+	cfg.BBThreshold = 1 << 30 // stay in guest.Step forever
+	e := NewEngine(cfg, hotLoopProgram(t, 2_000_000_000))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() { done <- e.RunContext(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine ignored cancellation for 10s")
+	}
+}

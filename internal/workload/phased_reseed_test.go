@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/mem"
+)
+
+// emitAsPhase emits member as phase `idx` of a composite, preceded by
+// the given lead specs, and returns the member's emitted code bytes.
+// It mirrors phasedProgram.Build's per-phase emitCtx exactly.
+func emitAsPhase(t *testing.T, leads []Spec, member Spec) []byte {
+	t.Helper()
+	b := guest.NewBuilder()
+	b.Label("start")
+	for i, lead := range leads {
+		if i > 0 {
+			b.Label(phaseLabel(i))
+		}
+		lead.emitInto(b, emitCtx{
+			prefix:    fmt.Sprintf("p%d_", i),
+			tableBase: mem.GuestTableBase + uint32(i)*phaseTableStride,
+			next:      phaseLabel(i + 1),
+		})
+	}
+	idx := len(leads)
+	if idx > 0 {
+		b.Label(phaseLabel(idx))
+	}
+	member.emitInto(b, emitCtx{
+		prefix:    fmt.Sprintf("p%d_", idx),
+		tableBase: mem.GuestTableBase + uint32(idx)*phaseTableStride,
+		next:      "",
+	})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := uint32(0)
+	if idx > 0 {
+		addr, ok := b.AddrOf(phaseLabel(idx))
+		if !ok {
+			t.Fatalf("phase label %q missing", phaseLabel(idx))
+		}
+		start = addr - mem.GuestCodeBase
+	}
+	return img.Code[start:]
+}
+
+// TestPhasedMemberBytesIndependentOfSiblings is the regression test
+// for per-member rand seeding: Spec.emitInto seeds its own
+// rand.New(rand.NewSource(s.Seed)) per invocation, so a member's
+// emitted instruction bytes must be a pure function of (spec, phase
+// slot) — never of which benchmarks ran in the earlier phases or how
+// many random draws they consumed. If emission ever started sharing
+// generator state across phases, the member bytes after different
+// leads would diverge and this test would catch the perturbation.
+func TestPhasedMemberBytesIndependentOfSiblings(t *testing.T) {
+	member, err := ByName("462.libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	member = member.Scale(0.2)
+	leadA, err := ByName("401.bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leadB, err := ByName("470.lbm") // different body mix => different draw count
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	afterA := emitAsPhase(t, []Spec{leadA.Scale(0.2)}, member)
+	afterB := emitAsPhase(t, []Spec{leadB.Scale(0.2)}, member)
+
+	if !bytes.Equal(afterA, afterB) {
+		t.Error("member bytes depend on which benchmark preceded it in the composite")
+	}
+
+	// Standalone fingerprint: the member emitted with the same phase-1
+	// emitCtx but no preceding phase at all (the slot matters — it
+	// selects the jump-table page, a real immediate in the dispatcher;
+	// the label prefix does not reach the bytes). In-phase emission
+	// must reproduce it exactly.
+	b := guest.NewBuilder()
+	b.Label("start")
+	member.emitInto(b, emitCtx{
+		prefix:    "p1_",
+		tableBase: mem.GuestTableBase + phaseTableStride,
+		next:      "",
+	})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(afterA, img.Code) {
+		t.Error("member in-phase bytes differ from its standalone emission under the same emitCtx")
+	}
+}
+
+// TestPhasedBuildDeterministic pins full-composite determinism: two
+// Builds of the same phased program are byte-identical images.
+func TestPhasedBuildDeterministic(t *testing.T) {
+	specs := make([]Spec, 0, 3)
+	for _, n := range []string{"401.bzip2", "462.libquantum", "429.mcf"} {
+		s, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s.Scale(0.15))
+	}
+	p, err := Phased("", specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Code, b.Code) {
+		t.Error("phased build is not deterministic")
+	}
+}

@@ -18,6 +18,10 @@ type Emulator struct {
 	State guest.State
 	Mem   *mem.Sparse
 
+	// dec memoizes fetch+decode per EIP; guest code is immutable once
+	// loaded, so the authoritative semantics are unchanged.
+	dec *guest.DecodeCache
+
 	// Statistics over the authoritative execution.
 	DynInsts     uint64
 	DynBranches  uint64
@@ -31,7 +35,7 @@ type Emulator struct {
 // New creates an emulator with the program loaded and registers
 // initialized.
 func New(p *guest.Program) *Emulator {
-	e := &Emulator{Mem: mem.NewSparse()}
+	e := &Emulator{Mem: mem.NewSparse(), dec: guest.NewDecodeCache()}
 	e.State = p.LoadInto(e.Mem)
 	return e
 }
@@ -41,8 +45,14 @@ func (e *Emulator) Step() (guest.StepResult, error) {
 	if e.Halted {
 		return guest.StepResult{Halted: true}, nil
 	}
+	// Lazy init keeps hand-rolled (non-New) Emulator values working,
+	// as they did before the decode cache existed; New pre-populates
+	// dec so the branch never fires on the cosim path.
+	if e.dec == nil {
+		e.dec = guest.NewDecodeCache()
+	}
 	var res guest.StepResult
-	if err := guest.Step(&e.State, e.Mem, &res); err != nil {
+	if err := e.dec.Step(&e.State, e.Mem, &res); err != nil {
 		return res, err
 	}
 	if res.Halted {

@@ -1,0 +1,239 @@
+// Command benchdiff compares two `go test -bench` text outputs and
+// reports per-benchmark deltas, failing when any shared benchmark
+// regressed beyond a threshold. It is the regression gate of the CI
+// perf job and the generator of the committed BENCH_*.json perf
+// trajectory records.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 5 . > old.txt   # base
+//	go test -run '^$' -bench . -benchmem -count 5 . > new.txt   # head
+//	go run ./tools/benchdiff -threshold 10 -json BENCH.json old.txt new.txt
+//
+// Multiple -count runs of one benchmark are reduced to the median
+// ns/op (medians resist scheduler noise better than means). Benchmarks
+// present on only one side are reported but never fail the gate, so
+// adding or renaming benchmarks does not break CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// parseBench extracts benchmark samples from go test -bench output.
+// Lines look like:
+//
+//	BenchmarkName[-P]   N   123.4 ns/op   56 B/op   7 allocs/op   8 extra/op
+func parseBench(path string) (map[string][]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]sample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix if numeric.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var s sample
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp, ok = v, true
+			case "B/op":
+				s.bytesPerOp, s.hasMem = v, true
+			case "allocs/op":
+				s.allocsPerOp, s.hasMem = v, true
+			}
+		}
+		if ok {
+			out[name] = append(out[name], s)
+		}
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if n := len(xs); n%2 == 1 {
+		return xs[n/2]
+	} else {
+		return (xs[n/2-1] + xs[n/2]) / 2
+	}
+}
+
+func reduce(samples []sample) sample {
+	var ns, bs, as []float64
+	hasMem := false
+	for _, s := range samples {
+		ns = append(ns, s.nsPerOp)
+		if s.hasMem {
+			bs = append(bs, s.bytesPerOp)
+			as = append(as, s.allocsPerOp)
+			hasMem = true
+		}
+	}
+	return sample{
+		nsPerOp:     median(ns),
+		bytesPerOp:  median(bs),
+		allocsPerOp: median(as),
+		hasMem:      hasMem,
+	}
+}
+
+// Entry is one benchmark comparison in the JSON report.
+type Entry struct {
+	Name        string   `json:"name"`
+	OldNsOp     float64  `json:"old_ns_op,omitempty"`
+	NewNsOp     float64  `json:"new_ns_op,omitempty"`
+	Speedup     float64  `json:"speedup,omitempty"`   // old/new; >1 = faster
+	DeltaPct    float64  `json:"delta_pct,omitempty"` // (new-old)/old*100; <0 = faster
+	OldAllocsOp *float64 `json:"old_allocs_op,omitempty"`
+	NewAllocsOp *float64 `json:"new_allocs_op,omitempty"`
+	Status      string   `json:"status"` // ok | regressed | old-only | new-only
+}
+
+// Report is the benchdiff JSON output (the BENCH_*.json schema).
+type Report struct {
+	ThresholdPct   float64 `json:"threshold_pct"`
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+	Regressions    int     `json:"regressions"`
+	Benchmarks     []Entry `json:"benchmarks"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "fail when a shared benchmark's ns/op grows by more than this percentage")
+	jsonOut := flag.String("json", "", "also write the comparison report as JSON to this file")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-json out.json] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	nu, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old)+len(nu))
+	seen := map[string]bool{}
+	for n := range old {
+		names, seen[n] = append(names, n), true
+	}
+	for n := range nu {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	rep := Report{ThresholdPct: *threshold}
+	logSum, logN := 0.0, 0
+	for _, n := range names {
+		e := Entry{Name: n, Status: "ok"}
+		os_, haveOld := old[n]
+		ns_, haveNew := nu[n]
+		switch {
+		case !haveNew:
+			e.Status = "old-only"
+			e.OldNsOp = reduce(os_).nsPerOp
+		case !haveOld:
+			e.Status = "new-only"
+			s := reduce(ns_)
+			e.NewNsOp = s.nsPerOp
+			if s.hasMem {
+				v := s.allocsPerOp
+				e.NewAllocsOp = &v
+			}
+		default:
+			o, s := reduce(os_), reduce(ns_)
+			e.OldNsOp, e.NewNsOp = o.nsPerOp, s.nsPerOp
+			if o.nsPerOp > 0 {
+				e.Speedup = o.nsPerOp / s.nsPerOp
+				e.DeltaPct = (s.nsPerOp - o.nsPerOp) / o.nsPerOp * 100
+				logSum += math.Log(e.Speedup)
+				logN++
+			}
+			if o.hasMem {
+				v := o.allocsPerOp
+				e.OldAllocsOp = &v
+			}
+			if s.hasMem {
+				v := s.allocsPerOp
+				e.NewAllocsOp = &v
+			}
+			if e.DeltaPct > *threshold {
+				e.Status = "regressed"
+				rep.Regressions++
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	if logN > 0 {
+		rep.GeomeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "delta%", "status")
+	for _, e := range rep.Benchmarks {
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %8.2fx %+8.1f%%  %s\n",
+			e.Name, e.OldNsOp, e.NewNsOp, e.Speedup, e.DeltaPct, e.Status)
+	}
+	fmt.Fprintf(w, "geomean speedup: %.2fx over %d shared benchmarks\n", rep.GeomeanSpeedup, logN)
+	w.Flush()
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	if rep.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.1f%%\n", rep.Regressions, *threshold)
+		os.Exit(1)
+	}
+}
