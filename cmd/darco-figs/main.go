@@ -13,6 +13,7 @@
 //	darco-figs -jobs 8          # parallel figure regeneration
 //	darco-figs -from a.json,b.json  # reuse darco-suite -json results
 //	darco-figs -fig 6 -workload trace:run.trace.json  # replayed workloads
+//	darco-figs -server http://host:8080 -timeout 1h   # run on darco-serve
 //
 // -benchmarks and -workload both take workload Source-registry
 // references ("<source>:<name>"; bare names mean the synthetic
@@ -37,6 +38,7 @@ import (
 
 	"repro/internal/darco"
 	"repro/internal/experiments"
+	"repro/internal/serve"
 	"repro/internal/stats"
 )
 
@@ -58,10 +60,17 @@ func main() {
 	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	from := flag.String("from", "", "comma-separated JSON record files (darco/darco-suite -json output) to reuse instead of simulating")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the whole regeneration (0 = none)")
+	server := flag.String("server", "", "run on a darco-serve instance at this base URL instead of simulating locally")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale
@@ -81,6 +90,9 @@ func main() {
 	}
 	opts.Jobs = *jobs
 	opts.Context = ctx
+	if *server != "" {
+		opts.SessionOptions = append(opts.SessionOptions, darco.WithRemote(serve.NewClient(*server)))
+	}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

@@ -9,6 +9,7 @@
 //	darco-suite -passes constprop,dce,sched
 //	darco-suite -cc-size 1024 -cc-policy flush-all  # bounded code cache
 //	darco-suite -workload trace:run.trace.json,phased:401.bzip2+470.lbm
+//	darco-suite -server http://host:8080 -timeout 30m  # run on darco-serve
 //
 // -workload adds programs by Source-registry reference
 // ("<source>:<name>") to the selected set; given alone it replaces the
@@ -33,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/darco"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/timing"
 	"repro/internal/workload"
@@ -54,6 +56,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	workloadFlag := flag.String("workload", "", "comma-separated workload references (<source>:<name>) added to the selection")
 	verbose := flag.Bool("v", false, "progress to stderr")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the whole sweep (0 = none)")
+	server := flag.String("server", "", "run on a darco-serve instance at this base URL instead of simulating locally")
 	flag.Parse()
 
 	mode, err := timing.ParseMode(*modeFlag)
@@ -102,8 +106,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sessOpts := []darco.SessionOption{darco.WithWorkers(*jobs)}
+	if *server != "" {
+		sessOpts = append(sessOpts, darco.WithRemote(serve.NewClient(*server)))
+	}
 	if *verbose {
 		sessOpts = append(sessOpts, darco.WithEvents(func(ev darco.Event) {
 			if ev.Kind == darco.EventStarted {

@@ -14,6 +14,8 @@
 //	darco -bench 470.lbm -passes constprop,dce,sched      # ablate one pass
 //	darco -bench 470.lbm -O 1 -promote adaptive           # preset + policy
 //	darco -bench 470.lbm -cc-size 512 -cc-policy lru-translation
+//	darco -bench 470.lbm -server http://host:8080        # run on darco-serve
+//	darco -bench 470.lbm -timeout 5m                     # overall deadline
 //	darco -list
 //	darco -print-config
 //
@@ -25,7 +27,10 @@
 // deterministic, so the results are identical to sequential runs.
 // -json emits an array of darco.Record (full results included), the
 // interchange format cmd/darco-figs -from consumes. Interrupting the
-// process (Ctrl-C) cancels in-flight simulations promptly.
+// process (Ctrl-C) or exceeding -timeout cancels in-flight simulations
+// promptly. With -server the session executes on a remote darco-serve
+// instance (cmd/darco-serve) instead of simulating locally; results
+// and failure reporting are identical.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"strings"
 
 	"repro/internal/darco"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/timing"
 	"repro/internal/workload"
@@ -60,6 +66,8 @@ func main() {
 	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
 	jsonOut := flag.Bool("json", false, "emit results as JSON records instead of tables")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the whole run (0 = none)")
+	server := flag.String("server", "", "run on a darco-serve instance at this base URL instead of simulating locally")
 	flag.Parse()
 
 	if *printConfig {
@@ -135,8 +143,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	sess := darco.NewSession(darco.WithWorkers(*jobs))
+	sessOpts := []darco.SessionOption{darco.WithWorkers(*jobs)}
+	if *server != "" {
+		sessOpts = append(sessOpts, darco.WithRemote(serve.NewClient(*server)))
+	}
+	sess := darco.NewSession(sessOpts...)
 	batch := sess.RunBatch(ctx, sessJobs)
 
 	var records []darco.Record

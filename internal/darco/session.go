@@ -35,6 +35,28 @@ type Job struct {
 	// e.g. the cache-pressure sweep's bounded-cache legs — must opt out
 	// or they would be served a result from a different configuration.
 	NoPreload bool
+
+	// Ref is the workload Source-registry reference the program was
+	// resolved from ("<source>:<name>"), when it was resolved from one
+	// (WithWorkload fills it; hand-assembled jobs leave it empty). A
+	// remote session (WithRemote) ships Ref plus the resolved Config to
+	// a darco-serve instance instead of simulating locally, so only
+	// reference-built jobs are remotely runnable.
+	Ref string
+
+	// Scale is the dynamic-size multiplier the program was scaled by
+	// (0 means 1.0). It is informational — the scaled Program is
+	// already baked into the job and Variant — but it travels into
+	// Records built for the persistent store and into remote
+	// submissions, which re-resolve Ref at this scale.
+	Scale float64
+
+	// Events, when non-nil, receives this job's progress events in
+	// addition to the session-wide WithEvents stream — the hook
+	// darco-serve uses to fan events out per submitted job. Like the
+	// session stream it is observability only and never affects
+	// results or cache keys.
+	Events func(Event)
 }
 
 // EventKind classifies Session progress events.
@@ -59,6 +81,18 @@ func (k EventKind) String() string {
 		return eventKindNames[k]
 	}
 	return "event?"
+}
+
+// ParseEventKind maps an EventKind.String() name back to the kind —
+// the inverse used when decoding events from a darco-serve wire
+// stream.
+func ParseEventKind(s string) (EventKind, error) {
+	for i, name := range eventKindNames {
+		if s == name {
+			return EventKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("darco: unknown event kind %q", s)
 }
 
 // Event is one per-job progress event streamed by a Session.
@@ -89,6 +123,54 @@ func WithEvents(fn func(Event)) SessionOption {
 	return func(s *Session) { s.events = fn }
 }
 
+// ResultStore is the persistence hook of a Session: a durable,
+// shareable result cache keyed by the Session memo key (Job.Key — the
+// program fingerprint × resolved-config hash). A session with a store
+// consults it after a memory-cache miss and saves every successful run
+// into it, so results survive process restarts and are shared across
+// replicas pointed at the same store. internal/store implements it on
+// disk; both methods must be safe for concurrent use.
+type ResultStore interface {
+	// Get returns the stored record for a memo key, reporting a miss
+	// with ok=false. A record whose Result is nil counts as a miss.
+	Get(key string) (rec *Record, ok bool, err error)
+	// Put persists the record under the memo key, atomically replacing
+	// any previous entry.
+	Put(key string, rec *Record) error
+}
+
+// WithStore attaches a persistent result store to the session. Store
+// hits are reported as EventCached exactly like memory-cache hits;
+// store I/O errors degrade to simulation (a broken store never fails a
+// run, it only loses the shortcut).
+func WithStore(st ResultStore) SessionOption {
+	return func(s *Session) { s.store = st }
+}
+
+// RemoteExecutor runs one resolved job on a remote darco-serve
+// instance instead of the local machine. serve.Client implements it;
+// install it with WithRemote.
+type RemoteExecutor interface {
+	// RunRemote submits the workload reference at the given scale with
+	// the fully resolved configuration, streams remote progress into
+	// events (nil-safe) until the job completes, and returns the
+	// result. The configuration's Progress hook is stripped before the
+	// call (it cannot cross the wire).
+	RunRemote(ctx context.Context, ref string, scale float64, cfg Config, events func(Event)) (*Result, error)
+}
+
+// WithRemote makes the session execute jobs on a remote darco-serve
+// instance: instead of simulating locally, each cache-missing job is
+// submitted by workload reference + resolved Config. Only jobs built
+// from a Source-registry reference (Job.Ref non-empty — anything from
+// WithWorkload) are remotely runnable; hand-assembled programs fail
+// with a clear error. Memoization, dedup of identical in-flight jobs
+// and the worker-pool bound (here: concurrent outstanding requests)
+// work exactly as for local execution.
+func WithRemote(r RemoteExecutor) SessionOption {
+	return func(s *Session) { s.remote = r }
+}
+
 // Session is the concurrent batch executor of the controller: a worker
 // pool that runs many (program, mode, config) jobs, memoizes results
 // under a config-hash cache key, and streams per-job progress events.
@@ -101,6 +183,8 @@ func WithEvents(fn func(Event)) SessionOption {
 type Session struct {
 	workers int
 	events  func(Event)
+	store   ResultStore
+	remote  RemoteExecutor
 
 	sem chan struct{}
 
@@ -135,12 +219,20 @@ func NewSession(opts ...SessionOption) *Session {
 // Workers returns the worker-pool size.
 func (s *Session) Workers() int { return s.workers }
 
-func (s *Session) emit(ev Event) {
-	if s.events == nil {
+// notify delivers one event to the session-wide WithEvents stream and
+// to the job's own Events hook; delivery is serial (the callbacks need
+// no locking).
+func (s *Session) notify(job *Job, ev Event) {
+	if s.events == nil && job.Events == nil {
 		return
 	}
 	s.evMu.Lock()
-	s.events(ev)
+	if s.events != nil {
+		s.events(ev)
+	}
+	if job.Events != nil {
+		job.Events(ev)
+	}
 	s.evMu.Unlock()
 }
 
@@ -172,6 +264,7 @@ func JobForProgram(p workload.Program, scale float64, opts ...Option) Job {
 		Program:   p,
 		Opts:      opts,
 		NoPreload: meta.Source != workload.DefaultSource,
+		Scale:     scale,
 	}
 }
 
@@ -190,7 +283,9 @@ func WithWorkload(ref string, scale float64, opts ...Option) (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
-	return JobForProgram(p, scale, opts...), nil
+	job := JobForProgram(p, scale, opts...)
+	job.Ref = ref
+	return job, nil
 }
 
 // resolve applies the job's options on top of DefaultConfig.
@@ -204,12 +299,14 @@ func (j *Job) resolve() Config {
 
 // cacheKey derives the memo key: the job name and variant plus the
 // hash of the JSON form of the resolved config (Progress is excluded
-// via json:"-", so observability hooks never fragment the cache).
-func cacheKey(name, variant string, cfg *Config) string {
+// via json:"-", so observability hooks never fragment the cache). A
+// config that fails to marshal is an error: a nondeterministic
+// fallback key would not only defeat sharing, it would poison any
+// persistent ResultStore keyed by it across runs.
+func cacheKey(name, variant string, cfg *Config) (string, error) {
 	b, err := json.Marshal(cfg)
 	if err != nil {
-		// Config is plain data; this cannot fail. Degrade to no sharing.
-		return fmt.Sprintf("%s|unhashable|%p", name, cfg)
+		return "", fmt.Errorf("darco: config of job %q is not hashable: %w", name, err)
 	}
 	h := fnv.New64a()
 	h.Write([]byte(name))
@@ -217,7 +314,21 @@ func cacheKey(name, variant string, cfg *Config) string {
 	h.Write([]byte(variant))
 	h.Write([]byte{0})
 	h.Write(b)
-	return fmt.Sprintf("%s|%016x", name, h.Sum64())
+	return fmt.Sprintf("%s|%016x", name, h.Sum64()), nil
+}
+
+// Key returns the job's memo-cache key: "<name>|<16-hex-digit hash>"
+// over the name, the variant (workload source, scale and content
+// fingerprint) and the resolved configuration. It is the content
+// address of the run — equal keys mean interchangeable results — and
+// the key a persistent ResultStore files the record under. Invalid or
+// unhashable configurations are errors, mirroring Session.Run.
+func (j Job) Key() (string, error) {
+	cfg := j.resolve()
+	if err := cfg.Validate(); err != nil {
+		return "", fmt.Errorf("%s: %w", j.Name, err)
+	}
+	return cacheKey(j.Name, j.Variant, &cfg)
 }
 
 // isCancellation reports whether err came from a cancelled or expired
@@ -255,17 +366,21 @@ func (s *Session) Run(ctx context.Context, job Job) (*Result, error) {
 	// every submission of a bad job reports the same clear error.
 	if err := cfg.Validate(); err != nil {
 		err = fmt.Errorf("%s: %w", job.Name, err)
-		s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventFailed, Err: err})
+		s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventFailed, Err: err})
 		return nil, err
 	}
-	key := cacheKey(job.Name, job.Variant, &cfg)
+	key, err := cacheKey(job.Name, job.Variant, &cfg)
+	if err != nil {
+		s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventFailed, Err: err})
+		return nil, err
+	}
 
 	var e *sessionEntry
 	for {
 		s.mu.Lock()
 		if res, ok := s.preload[preloadKey(job.Name, cfg.Mode)]; ok && !job.NoPreload {
 			s.mu.Unlock()
-			s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventCached})
+			s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventCached})
 			return res, nil
 		}
 		prev, inFlight := s.cache[key]
@@ -284,32 +399,82 @@ func (s *Session) Run(ctx context.Context, job Job) (*Result, error) {
 			if isCancellation(prev.err) && ctx.Err() == nil {
 				continue
 			}
-			s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventCached})
+			s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventCached})
 			return prev.res, prev.err
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
 
-	s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventQueued})
+	// Memory-cache miss: consult the persistent store before taking a
+	// worker slot. Store errors (including corrupt entries the store
+	// itself tolerates) degrade to simulation.
+	if s.store != nil {
+		if rec, ok, serr := s.store.Get(key); serr == nil && ok && rec.Result != nil {
+			s.finish(key, e, rec.Result, nil)
+			s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventCached})
+			return rec.Result, nil
+		}
+	}
+
+	s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventQueued})
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		s.finish(key, e, nil, ctx.Err())
 		return nil, ctx.Err()
 	}
-	s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventStarted})
+	s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventStarted})
 
-	res, err := s.execute(ctx, job, cfg)
+	var res *Result
+	if s.remote != nil {
+		res, err = s.runRemote(ctx, &job, cfg)
+	} else {
+		res, err = s.execute(ctx, job, cfg)
+	}
 	<-s.sem
+
+	if err == nil && s.store != nil {
+		// Best-effort persistence: a full Record (digest + result), so
+		// the store serves the established interchange format directly.
+		rec := NewRecord(job.Name, jobSuite(&job), job.Scale, cfg.Mode, res, nil)
+		_ = s.store.Put(key, &rec)
+	}
 
 	s.finish(key, e, res, err)
 	if err != nil {
-		s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventFailed, Err: err})
+		s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventFailed, Err: err})
 		return nil, err
 	}
-	s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventDone, Cycles: res.Timing.Cycles})
+	s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventDone, Cycles: res.Timing.Cycles})
 	return res, nil
+}
+
+// jobSuite reports the suite label recorded for a job's persisted
+// results.
+func jobSuite(job *Job) string {
+	if job.Program == nil {
+		return ""
+	}
+	return job.Program.Meta().Suite
+}
+
+// runRemote ships one cache-missing job to the configured remote
+// executor. Remote progress events re-enter the local event streams;
+// the remote side emits its own queued/started/done lifecycle, so only
+// in-run progress is forwarded to avoid duplicating lifecycle events
+// the local session already emitted.
+func (s *Session) runRemote(ctx context.Context, job *Job, cfg Config) (*Result, error) {
+	if job.Ref == "" {
+		return nil, fmt.Errorf("darco: job %q was not built from a workload reference; remote sessions can only run WithWorkload jobs", job.Name)
+	}
+	cfg.Progress = nil // not serializable; progress arrives as remote events
+	cfg.ProgressEvery = 0
+	return s.remote.RunRemote(ctx, job.Ref, job.Scale, cfg, func(ev Event) {
+		if ev.Kind == EventProgress {
+			s.notify(job, ev)
+		}
+	})
 }
 
 func (s *Session) execute(ctx context.Context, job Job, cfg Config) (*Result, error) {
@@ -323,7 +488,7 @@ func (s *Session) execute(ctx context.Context, job Job, cfg Config) (*Result, er
 	// Chain session progress events onto any caller-installed hook.
 	prev := cfg.Progress
 	cfg.Progress = func(pr Progress) {
-		s.emit(Event{Job: job.Name, Mode: cfg.Mode, Kind: EventProgress, Cycles: pr.Cycles})
+		s.notify(&job, Event{Job: job.Name, Mode: cfg.Mode, Kind: EventProgress, Cycles: pr.Cycles})
 		if prev != nil {
 			prev(pr)
 		}

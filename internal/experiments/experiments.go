@@ -49,6 +49,12 @@ type Options struct {
 	// (e.g. loaded from cmd/darco-suite -json output); matching
 	// (benchmark, mode) jobs are served without simulating.
 	Preload []darco.Record
+	// SessionOptions are appended to the runner's session construction
+	// — the hook commands use to install a persistent result store
+	// (darco.WithStore) or a remote executor (darco.WithRemote with a
+	// serve.Client), so figure regeneration can reuse stored results or
+	// run on a darco-serve instance.
+	SessionOptions []darco.SessionOption
 }
 
 // DefaultOptions returns the standard full-catalog session.
@@ -62,6 +68,7 @@ func DefaultOptions() Options {
 type Runner struct {
 	opts  Options
 	progs []workload.Program
+	refs  map[string]string // program name -> Source-registry reference
 	sess  *darco.Session
 }
 
@@ -71,9 +78,11 @@ func NewRunner(opts Options) (*Runner, error) {
 		opts.Scale = 1.0
 	}
 	var progs []workload.Program
+	refs := map[string]string{}
 	if opts.Benchmarks == nil {
 		for _, s := range workload.Catalog() {
 			progs = append(progs, workload.SpecProgram{Spec: s})
+			refs[s.Name] = workload.DefaultSource + ":" + s.Name
 		}
 	} else {
 		for _, ref := range opts.Benchmarks {
@@ -82,6 +91,7 @@ func NewRunner(opts Options) (*Runner, error) {
 				return nil, err
 			}
 			progs = append(progs, p)
+			refs[p.Name()] = ref
 		}
 	}
 	for i := range progs {
@@ -103,6 +113,7 @@ func NewRunner(opts Options) (*Runner, error) {
 		byName[p.Name()] = true
 	}
 	sessOpts := []darco.SessionOption{darco.WithWorkers(opts.Jobs)}
+	sessOpts = append(sessOpts, opts.SessionOptions...)
 	if opts.Log != nil {
 		log := opts.Log
 		sessOpts = append(sessOpts, darco.WithEvents(func(ev darco.Event) {
@@ -126,7 +137,7 @@ func NewRunner(opts Options) (*Runner, error) {
 		}
 		sess.Preload(rec.Benchmark, m, rec.Result)
 	}
-	return &Runner{opts: opts, progs: progs, sess: sess}, nil
+	return &Runner{opts: opts, progs: progs, refs: refs, sess: sess}, nil
 }
 
 // Programs returns the workload set of this runner.
@@ -150,11 +161,16 @@ func (r *Runner) program(name string) (workload.Program, error) {
 	return nil, fmt.Errorf("experiments: benchmark %q not in session", name)
 }
 
-// job builds the session job for one program × mode.
+// job builds the session job for one program × mode. The originating
+// workload reference is kept on the job, so a remote session
+// (Options.SessionOptions with darco.WithRemote) can re-open the same
+// program server-side.
 func (r *Runner) job(p workload.Program, mode timing.Mode) darco.Job {
 	cfg := r.opts.Config
 	cfg.Mode = mode
-	return darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
+	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
+	j.Ref = r.refs[p.Name()]
+	return j
 }
 
 // run executes (or recalls) one benchmark under a mode.
@@ -465,6 +481,7 @@ func (r *Runner) ccJob(p workload.Program, capacity int, policy string) darco.Jo
 	cfg.Mode = timing.ModeShared
 	cfg.TOL.Cache = tol.CacheConfig{CapacityInsts: capacity, Policy: policy}
 	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
+	j.Ref = r.refs[p.Name()]
 	j.NoPreload = j.NoPreload || capacity > 0
 	return j
 }

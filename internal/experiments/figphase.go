@@ -69,6 +69,10 @@ func (r *Runner) phaseJob(p workload.Program, capacity int, policy string) darco
 	cfg.Mode = timing.ModeShared
 	cfg.TOL.Cache = tol.CacheConfig{CapacityInsts: capacity, Policy: policy}
 	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
+	// FigPhase composites carry the canonical "a+b" member join as their
+	// name, which is exactly the phased: reference that re-opens them, so
+	// the sweep stays runnable on a remote session.
+	j.Ref = "phased:" + p.Name()
 	j.NoPreload = true
 	return j
 }

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/darco"
+)
+
+// job is the server-side state of one submitted run: the resolved
+// session job plus an append-only event log fanned out to any number
+// of SSE subscribers.
+type job struct {
+	id     string
+	tenant string
+	ref    string
+	scale  float64
+	mode   string
+	key    string
+	sjob   darco.Job
+	cfg    darco.Config
+
+	mu        sync.Mutex
+	state     string
+	fromCache bool
+	startSeq  int
+	events    []WireEvent
+	changed   chan struct{} // closed and replaced on every append/state change
+	cycles    uint64
+	raw       json.RawMessage // marshaled darco.Record, set when terminal
+	err       error
+
+	done chan struct{} // closed when the job reaches a terminal state
+}
+
+func newJob(id, tenant string, sjob darco.Job, key string, cfg darco.Config) *job {
+	return &job{
+		id:      id,
+		tenant:  tenant,
+		ref:     sjob.Ref,
+		scale:   sjob.Scale,
+		mode:    cfg.Mode.String(),
+		key:     key,
+		sjob:    sjob,
+		cfg:     cfg,
+		state:   StateQueued,
+		changed: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// isFromCache reports whether the session served the job without
+// simulating.
+func (j *job) isFromCache() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fromCache
+}
+
+func (j *job) broadcastLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// note records one darco session event in the wire log. It is the
+// Job.Events hook of the session job, so it runs serially.
+func (j *job) note(ev darco.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	wev := WireEvent{
+		Seq:    len(j.events) + 1,
+		Job:    ev.Job,
+		Mode:   ev.Mode.String(),
+		Kind:   ev.Kind.String(),
+		Cycles: ev.Cycles,
+	}
+	if ev.Err != nil {
+		wev.Error = ev.Err.Error()
+	}
+	if ev.Cycles != 0 {
+		j.cycles = ev.Cycles
+	}
+	if ev.Kind == darco.EventCached {
+		j.fromCache = true
+	}
+	j.events = append(j.events, wev)
+	j.broadcastLocked()
+}
+
+// setRunning marks dispatch onto the worker pool with the global start
+// order.
+func (j *job) setRunning(seq int) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.startSeq = seq
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// finish publishes the terminal record (which carries any error in its
+// Error field) and wakes waiters and subscribers.
+func (j *job) finish(raw json.RawMessage, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+	} else {
+		j.state = StateDone
+	}
+	j.raw = raw
+	j.broadcastLocked()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Tenant:    j.tenant,
+		Workload:  j.ref,
+		Scale:     j.scale,
+		Mode:      j.mode,
+		State:     j.state,
+		FromCache: j.fromCache,
+		StartSeq:  j.startSeq,
+		Key:       j.key,
+		Events:    len(j.events),
+		Cycles:    j.cycles,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// snapshot returns the events from cursor on, the channel signalling
+// the next change, and whether the job is terminal — the SSE pull
+// loop.
+func (j *job) snapshot(cursor int) (evs []WireEvent, changed chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor < len(j.events) {
+		evs = append(evs, j.events[cursor:]...)
+	}
+	return evs, j.changed, j.state == StateDone || j.state == StateFailed
+}
+
+// record returns the terminal record bytes (nil while the job is
+// pending).
+func (j *job) record() (json.RawMessage, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.raw, j.state
+}

@@ -1,0 +1,94 @@
+package serve
+
+import "sync"
+
+// fairQueue is the admission and scheduling structure of the server:
+// one FIFO per tenant, drained round-robin. Workers pop the head of
+// the front tenant's queue, then the tenant rotates to the back of the
+// order, so a tenant that floods the server with a large batch only
+// delays other tenants by at most one job per round — with a 1-worker
+// pool, a newly arrived single-job tenant runs after at most one job
+// of every other active tenant.
+type fairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string][]*job
+	order  []string // tenants with non-empty queues, in rotation order
+	n      int
+	closed bool
+}
+
+func newFairQueue() *fairQueue {
+	q := &fairQueue{queues: make(map[string][]*job)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// tryPush enqueues the job unless the total queued count has reached
+// limit (limit <= 0 means unbounded) or the queue is closed. The
+// check and the append are one critical section, so concurrent
+// submissions cannot overshoot the admission bound.
+func (q *fairQueue) tryPush(j *job, limit int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || (limit > 0 && q.n >= limit) {
+		return false
+	}
+	if len(q.queues[j.tenant]) == 0 {
+		q.order = append(q.order, j.tenant)
+	}
+	q.queues[j.tenant] = append(q.queues[j.tenant], j)
+	q.n++
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until a job is available (returning it) or the queue is
+// closed and empty (returning ok=false — the worker-exit signal).
+func (q *fairQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	tenant := q.order[0]
+	fifo := q.queues[tenant]
+	j := fifo[0]
+	if len(fifo) == 1 {
+		delete(q.queues, tenant)
+		q.order = q.order[1:]
+	} else {
+		q.queues[tenant] = fifo[1:]
+		q.order = append(q.order[1:], tenant)
+	}
+	q.n--
+	return j, true
+}
+
+// len returns the number of queued (not yet dispatched) jobs.
+func (q *fairQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// close stops admission and wakes idle workers; the drained jobs —
+// queued but never dispatched — are returned so the server can fail
+// them promptly during shutdown.
+func (q *fairQueue) close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	var drained []*job
+	for _, tenant := range q.order {
+		drained = append(drained, q.queues[tenant]...)
+	}
+	q.queues = make(map[string][]*job)
+	q.order = nil
+	q.n = 0
+	q.cond.Broadcast()
+	return drained
+}
