@@ -9,6 +9,8 @@
 //	darco-figs -fig cc          # cache-pressure sweep (not part of "all")
 //	darco-figs -fig phase       # phase-behaviour sweep (not part of "all")
 //	darco-figs -fig phase -phases 6 -phase-cap 1024
+//	darco-figs -fig sample      # sampled-vs-full error + speedup (not part of "all")
+//	darco-figs -fig sample -sample 8 -interval 100000 -warmup 5000
 //	darco-figs -scale 2 -csv
 //	darco-figs -jobs 8          # parallel figure regeneration
 //	darco-figs -from a.json,b.json  # reuse darco-suite -json results
@@ -43,7 +45,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 7b, 8, 9, 10, 11, cc, phase, all ('all' excludes the cc and phase sweeps)")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7, 7b, 8, 9, 10, 11, cc, phase, sample, all ('all' excludes the cc, phase and sample sweeps)")
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
 	csv := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON")
@@ -58,6 +60,9 @@ func main() {
 	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
 	ccSize := flag.Int("cc-size", 0, "bound the code cache to this many instruction slots (0 = unbounded)")
 	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
+	sampleEvery := flag.Int("sample", 0, "sampled simulation: measure every Nth interval in detail (0 = full detailed runs; with -fig sample, overrides the sweep's default plan)")
+	sampleInterval := flag.Uint64("interval", 0, "sampled simulation: interval length in guest instructions (0 = default)")
+	sampleWarmup := flag.Uint64("warmup", 0, "sampled simulation: detailed warm-up instructions before each measured interval (0 = default)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	from := flag.String("from", "", "comma-separated JSON record files (darco/darco-suite -json output) to reuse instead of simulating")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the whole regeneration (0 = none)")
@@ -87,6 +92,16 @@ func main() {
 	if err := darco.ApplyPipelineFlags(&opts.Config.TOL, *optLevel, *passes, *promote); err != nil {
 		fmt.Fprintln(os.Stderr, "darco-figs:", err)
 		os.Exit(2)
+	}
+	if err := darco.ApplySampleFlags(&opts.Config, *sampleEvery, *sampleInterval, *sampleWarmup); err != nil {
+		fmt.Fprintln(os.Stderr, "darco-figs:", err)
+		os.Exit(2)
+	}
+	samplePlan := opts.Config.Sampling
+	if *fig == "sample" {
+		// The sweep compares sampled against full runs itself; the base
+		// config must stay full-detail so the reference leg is one.
+		opts.Config.Sampling = nil
 	}
 	opts.Jobs = *jobs
 	opts.Context = ctx
@@ -214,6 +229,16 @@ func main() {
 	// opt-in too; -benchmarks restricts the member pool.
 	if *fig == "phase" {
 		t, err := r.FigPhase(*phases, *phaseCap)
+		if err != nil {
+			die(err)
+		}
+		emit(t)
+	}
+	// The sampling sweep runs every benchmark twice (full + sampled) and
+	// times both legs, so it is opt-in as well; -sample/-interval/-warmup
+	// override its default plan.
+	if *fig == "sample" {
+		t, err := r.FigSample(samplePlan)
 		if err != nil {
 			die(err)
 		}

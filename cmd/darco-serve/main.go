@@ -9,6 +9,8 @@
 //
 //	darco-serve -listen :8080 -store /var/lib/darco
 //	darco-serve -listen :8080 -store ./results -workers 4 -queue 64
+//	darco-serve -listen :8080 -store ./results -store-max-bytes 104857600
+//	darco-serve -listen :8080 -job-ttl 1h          # registry TTL for completed jobs
 //	darco-serve -listen :8080 -no-cosim            # fast base config
 //
 // SIGINT/SIGTERM drains gracefully: admission stops (new submissions
@@ -48,6 +50,8 @@ import (
 func main() {
 	listen := flag.String("listen", ":8080", "server mode: listen address")
 	storeDir := flag.String("store", "", "server mode: content-addressed result store directory (empty = in-memory only, cache dies with the process)")
+	storeMax := flag.Int64("store-max-bytes", 0, "server mode: persistent-store size quota; least recently used entries are evicted past it (0 = unbounded)")
+	jobTTL := flag.Duration("job-ttl", 0, "server mode: drop completed jobs from the registry after this long (0 = keep forever; stored results survive)")
 	workers := flag.Int("workers", 0, "server mode: simulation worker-pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "server mode: admission queue bound, submissions beyond it get 429 (0 = default, <0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "server mode: grace period for in-flight jobs on SIGINT/SIGTERM")
@@ -71,11 +75,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "darco-serve: client flags need -server <url>")
 		os.Exit(2)
 	}
-	os.Exit(serverMain(*listen, *storeDir, *workers, *queue, *drain, *noCosim))
+	os.Exit(serverMain(*listen, *storeDir, *storeMax, *workers, *queue, *drain, *jobTTL, *noCosim))
 }
 
-func serverMain(listen, storeDir string, workers, queue int, drain time.Duration, noCosim bool) int {
-	cfg := serve.Config{Workers: workers, QueueLimit: queue, Log: os.Stderr}
+func serverMain(listen, storeDir string, storeMax int64, workers, queue int, drain, jobTTL time.Duration, noCosim bool) int {
+	cfg := serve.Config{Workers: workers, QueueLimit: queue, Log: os.Stderr, JobTTL: jobTTL, StoreMaxBytes: storeMax}
 	if storeDir != "" {
 		st, err := store.Open(storeDir)
 		if err != nil {
@@ -84,6 +88,15 @@ func serverMain(listen, storeDir string, workers, queue int, drain time.Duration
 		}
 		cfg.Store = st
 		fmt.Fprintf(os.Stderr, "darco-serve: store %s\n", storeDir)
+		// Apply the quota to whatever the directory already holds, so a
+		// restart with a tighter bound converges immediately.
+		if storeMax > 0 {
+			if removed, freed, err := st.EvictToSize(storeMax); err != nil {
+				fmt.Fprintln(os.Stderr, "darco-serve: store quota:", err)
+			} else if removed > 0 {
+				fmt.Fprintf(os.Stderr, "darco-serve: store quota: evicted %d entries (%d bytes)\n", removed, freed)
+			}
+		}
 	}
 	if noCosim {
 		base := darco.DefaultConfig()

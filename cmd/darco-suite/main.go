@@ -8,6 +8,7 @@
 //	darco-suite -O 1 -promote adaptive     # sweep under an ablated TOL config
 //	darco-suite -passes constprop,dce,sched
 //	darco-suite -cc-size 1024 -cc-policy flush-all  # bounded code cache
+//	darco-suite -sample 4 -interval 200000          # sampled simulation
 //	darco-suite -workload trace:run.trace.json,phased:401.bzip2+470.lbm
 //	darco-suite -server http://host:8080 -timeout 30m  # run on darco-serve
 //
@@ -53,6 +54,9 @@ func main() {
 	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
 	ccSize := flag.Int("cc-size", 0, "bound the code cache to this many instruction slots (0 = unbounded)")
 	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
+	sampleEvery := flag.Int("sample", 0, "sampled simulation: measure every Nth interval in detail (0 = full detailed run)")
+	sampleInterval := flag.Uint64("interval", 0, "sampled simulation: interval length in guest instructions (0 = default)")
+	sampleWarmup := flag.Uint64("warmup", 0, "sampled simulation: detailed warm-up instructions before each measured interval (0 = default)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	workloadFlag := flag.String("workload", "", "comma-separated workload references (<source>:<name>) added to the selection")
 	verbose := flag.Bool("v", false, "progress to stderr")
@@ -100,6 +104,10 @@ func main() {
 	cfg.Mode = mode
 	darco.ApplyCacheFlags(&cfg.TOL, *ccSize, *ccPolicy)
 	if err := darco.ApplyPipelineFlags(&cfg.TOL, *optLevel, *passes, *promote); err != nil {
+		fmt.Fprintln(os.Stderr, "darco-suite:", err)
+		os.Exit(2)
+	}
+	if err := darco.ApplySampleFlags(&cfg, *sampleEvery, *sampleInterval, *sampleWarmup); err != nil {
 		fmt.Fprintln(os.Stderr, "darco-suite:", err)
 		os.Exit(2)
 	}

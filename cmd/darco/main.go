@@ -14,6 +14,7 @@
 //	darco -bench 470.lbm -passes constprop,dce,sched      # ablate one pass
 //	darco -bench 470.lbm -O 1 -promote adaptive           # preset + policy
 //	darco -bench 470.lbm -cc-size 512 -cc-policy lru-translation
+//	darco -bench 470.lbm -sample 4 -interval 200000 -warmup 20000  # sampled simulation
 //	darco -bench 470.lbm -server http://host:8080        # run on darco-serve
 //	darco -bench 470.lbm -timeout 5m                     # overall deadline
 //	darco -list
@@ -64,6 +65,9 @@ func main() {
 	promote := flag.String("promote", "", "tier-promotion policy: fixed, adaptive")
 	ccSize := flag.Int("cc-size", 0, "bound the code cache to this many instruction slots (0 = unbounded)")
 	ccPolicy := flag.String("cc-policy", "", "code cache eviction policy: flush-all, fifo-region, lru-translation")
+	sampleEvery := flag.Int("sample", 0, "sampled simulation: measure every Nth interval in detail (0 = full detailed run)")
+	sampleInterval := flag.Uint64("interval", 0, "sampled simulation: interval length in guest instructions (0 = default)")
+	sampleWarmup := flag.Uint64("warmup", 0, "sampled simulation: detailed warm-up instructions before each measured interval (0 = default)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON records instead of tables")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the whole run (0 = none)")
@@ -103,6 +107,10 @@ func main() {
 	}
 	darco.ApplyCacheFlags(&cfg.TOL, *ccSize, *ccPolicy)
 	if err := darco.ApplyPipelineFlags(&cfg.TOL, *optLevel, *passes, *promote); err != nil {
+		fmt.Fprintln(os.Stderr, "darco:", err)
+		os.Exit(2)
+	}
+	if err := darco.ApplySampleFlags(&cfg, *sampleEvery, *sampleInterval, *sampleWarmup); err != nil {
 		fmt.Fprintln(os.Stderr, "darco:", err)
 		os.Exit(2)
 	}
@@ -200,6 +208,22 @@ func report(prog workload.Program, res *darco.Result) {
 		tr.TotalInsts(), tr.Insts[timing.OwnerApp], tr.Insts[timing.OwnerTOL])
 	fmt.Printf("cycles           %d   IPC %.3f\n", tr.Cycles, tr.IPC())
 	fmt.Printf("TOL overhead     %.2f%% of execution time\n\n", 100*tr.TOLShare())
+
+	if rep := res.Sampled; rep != nil {
+		note := ""
+		if rep.FFCached {
+			note = "; fast-forward served from store"
+		}
+		st := stats.NewTable(
+			fmt.Sprintf("Sampled estimates (%d of %d intervals measured%s — timing quantities below are estimates)",
+				len(rep.Measured), rep.Intervals, note),
+			"metric", "estimate", "95% CI", "rel err")
+		for _, m := range rep.Metrics {
+			st.AddRow(m.Name, fmt.Sprintf("%.6g", m.Estimate),
+				fmt.Sprintf("%.3g", m.CI95), stats.Pct(m.RelErr))
+		}
+		fmt.Println(st.String())
+	}
 
 	bt := stats.NewTable("Execution-time breakdown (Fig. 6/7 quantities)", "component", "% of cycles")
 	for _, c := range []timing.Component{

@@ -41,6 +41,7 @@ import (
 	"io"
 
 	"repro/internal/guest"
+	"repro/internal/sample"
 	"repro/internal/timing"
 	"repro/internal/tol"
 )
@@ -56,6 +57,16 @@ type Config struct {
 
 	// MaxCycles aborts runaway timing simulations (0 = default guard).
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
+
+	// Sampling, when non-nil, switches the run to SimPoint-style
+	// sampled simulation (internal/sample): functional fast-forward
+	// with interval checkpoints, detailed simulation of the selected
+	// intervals only, whole-run timing reconstructed as estimates with
+	// error bars (Result.Sampled). Functional outputs — TOL statistics
+	// and the final guest state — remain exact. The field is part of
+	// the JSON form, so sampled and full runs never share a memo-cache
+	// entry.
+	Sampling *sample.Config `json:"sampling,omitempty"`
 
 	// Progress, when non-nil, receives periodic in-run progress
 	// reports. It is observability only — it cannot affect results —
@@ -100,6 +111,11 @@ func (c *Config) Validate() error {
 	if err := c.TOL.Validate(); err != nil {
 		return fmt.Errorf("darco: invalid config: %w", err)
 	}
+	if c.Sampling != nil {
+		if err := c.Sampling.Validate(); err != nil {
+			return fmt.Errorf("darco: invalid config: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -119,6 +135,13 @@ type Result struct {
 
 	// Final guest architectural state.
 	Final guest.State `json:"final"`
+
+	// Sampled carries the sampling digest when the run used sampled
+	// simulation (Config.Sampling): the plan, the measured intervals,
+	// and per-metric estimates with 95% error bars. When set, Timing is
+	// the whole-run estimate extrapolated from the measured intervals;
+	// TOL and Final are exact either way.
+	Sampled *sample.Report `json:"sampled,omitempty"`
 }
 
 // GuestDyn returns the number of guest instructions executed.
@@ -243,11 +266,31 @@ func RunConfig(p *guest.Program, cfg Config) (*Result, error) {
 	return Run(context.Background(), p, WithConfig(cfg))
 }
 
+// sampleEnv carries the execution-environment knobs of a sampled run
+// that live outside Config (and therefore outside the memo-cache key):
+// measurement parallelism, the fast-forward bundle cache, and the
+// workload fingerprint the bundles are keyed by. The zero value means
+// GOMAXPROCS parallelism with no warm-start cache — what a plain Run
+// gets; Session fills it from its worker pool and persistent store.
+type sampleEnv struct {
+	parallel int
+	cache    sample.BlobCache
+	program  string
+}
+
 // run is the single execution path behind Run, Session and the
 // experiment runners.
 func (cfg Config) run(ctx context.Context, p *guest.Program) (*Result, error) {
+	return cfg.runWith(ctx, p, sampleEnv{})
+}
+
+// runWith is run plus the sampled-execution environment.
+func (cfg Config) runWith(ctx context.Context, p *guest.Program, env sampleEnv) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Sampling != nil {
+		return cfg.runSampled(ctx, p, env)
 	}
 	eng := tol.NewEngine(cfg.TOL, p)
 	// The engine polls ctx while generating the stream, so cancellation
@@ -283,6 +326,41 @@ func (cfg Config) run(ctx context.Context, p *guest.Program) (*Result, error) {
 		CodeCacheInsts: eng.CC.UsedInsts(),
 		Translations:   len(eng.CC.Translations()),
 		Final:          *eng.GuestState(),
+	}, nil
+}
+
+// runSampled executes the sampled-simulation path: the internal/sample
+// runner does the fast-forward, the parallel interval measurements and
+// the extrapolation; this shim adapts its output to the controller's
+// Result shape. The estimator combines intervals in index order, so the
+// result is bit-identical for any parallelism — the property that lets
+// sampled runs share the Session memo cache.
+func (cfg Config) runSampled(ctx context.Context, p *guest.Program, env sampleEnv) (*Result, error) {
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = defaultMaxCycles
+	}
+	r := &sample.Runner{
+		TOL:       cfg.TOL,
+		Timing:    cfg.Timing,
+		Mode:      cfg.Mode,
+		MaxCycles: maxCycles,
+		Sample:    *cfg.Sampling,
+		Parallel:  env.parallel,
+		Program:   env.program,
+		Cache:     env.cache,
+	}
+	sres, err := r.Run(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Timing:         sres.Timing,
+		TOL:            sres.TOL,
+		CodeCacheInsts: sres.CodeCacheInsts,
+		Translations:   sres.Translations,
+		Final:          sres.Final,
+		Sampled:        sres.Report,
 	}, nil
 }
 

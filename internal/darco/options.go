@@ -3,6 +3,7 @@ package darco
 import (
 	"fmt"
 
+	"repro/internal/sample"
 	"repro/internal/timing"
 	"repro/internal/tol"
 )
@@ -134,6 +135,50 @@ func ApplyCacheFlags(tc *tol.Config, capacity int, policy string) {
 	if policy != "" {
 		tc.Cache.Policy = policy
 	}
+}
+
+// WithSampling switches the run to SimPoint-style sampled simulation
+// under the given plan: functional fast-forward with checkpoints at
+// interval boundaries, detailed simulation of every Every-th interval
+// (in parallel, after Warmup instructions of detailed warm-up), and
+// whole-run timing reconstructed as estimates with 95% error bars
+// (Result.Sampled). TOL statistics and the final guest state stay
+// exact. Degenerate plans are rejected by Config.Validate before the
+// run starts.
+func WithSampling(sc sample.Config) Option {
+	return func(c *Config) { c.Sampling = &sc }
+}
+
+// WithoutSampling restores full detailed simulation (the default),
+// overriding an earlier WithSampling or a sampled base config.
+func WithoutSampling() Option {
+	return func(c *Config) { c.Sampling = nil }
+}
+
+// ApplySampleFlags applies the -sample/-interval/-warmup command-line
+// flags shared by the darco tools to a run configuration. every <= 0
+// means "-sample not given" and leaves the config untouched; interval
+// and warmup fall back to the sample.DefaultConfig values when zero, so
+// `-sample 4` alone selects a sensible plan. The resulting plan is
+// validated so every cmd rejects bad sampling flags identically before
+// simulating.
+func ApplySampleFlags(c *Config, every int, interval, warmup uint64) error {
+	if every <= 0 {
+		return nil
+	}
+	sc := sample.DefaultConfig()
+	sc.Every = every
+	if interval > 0 {
+		sc.Interval = interval
+	}
+	if warmup > 0 {
+		sc.Warmup = warmup
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	c.Sampling = &sc
+	return nil
 }
 
 // WithProgress installs a periodic in-run progress callback. The

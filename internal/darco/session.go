@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/sample"
 	"repro/internal/timing"
 	"repro/internal/workload"
 )
@@ -493,7 +494,15 @@ func (s *Session) execute(ctx context.Context, job Job, cfg Config) (*Result, er
 			prev(pr)
 		}
 	}
-	res, err := cfg.run(ctx, p)
+	// Sampled runs inherit the session's worker-pool width for their
+	// interval measurements and warm-start their fast-forward pass from
+	// the persistent store when it can hold raw blobs (internal/store
+	// can). The job holds one session slot; the fan-out happens inside.
+	env := sampleEnv{parallel: s.workers, program: workload.Fingerprint(job.Program)}
+	if bc, ok := s.store.(sample.BlobCache); ok {
+		env.cache = bc
+	}
+	res, err := cfg.runWith(ctx, p, env)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", job.Name, err)
 	}

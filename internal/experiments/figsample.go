@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/darco"
+	"repro/internal/sample"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// FigSample characterizes the checkpoint/sampling subsystem: every
+// benchmark runs once in full detail and once under SimPoint-style
+// sampled simulation, and the table compares the whole-run cycle
+// estimate against the full-detail reference (error and 95% confidence
+// half-width) next to the wall-clock speedup the sampled run achieved.
+// Both runs simulate fresh (no preloads, no cross-figure memoization),
+// so the timed columns measure real work.
+
+// DefaultSamplePlan is the sweep's sampling plan: small intervals so
+// the scaled-down catalog benchmarks still span many of them, a 1-in-8
+// selection for a large detailed-work reduction, and a warm-up window
+// of one sixteenth of the interval.
+var DefaultSamplePlan = sample.Config{Interval: 50_000, Every: 8, Warmup: 3_000}
+
+// sampleJob builds one FigSample leg: the shared-mode job, sampled
+// when plan is non-nil. Preloading is disabled on both legs — records
+// carry no wall-clock, and the figure's point is the timing.
+func (r *Runner) sampleJob(p workload.Program, plan *sample.Config) darco.Job {
+	cfg := r.opts.Config
+	cfg.Mode = timing.ModeShared
+	cfg.Sampling = nil
+	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
+	if plan != nil {
+		j.Opts = append(j.Opts, darco.WithSampling(*plan))
+	}
+	j.Ref = r.refs[p.Name()]
+	j.NoPreload = true
+	return j
+}
+
+// FigSample runs the sampled-vs-full comparison under the given plan
+// (nil = DefaultSamplePlan). The runs execute one benchmark at a time
+// so the wall-clock columns are not distorted by co-scheduling; the
+// sampled leg still measures its selected intervals in parallel across
+// the session's workers, exactly as a production sampled run would.
+func (r *Runner) FigSample(plan *sample.Config) (*stats.Table, error) {
+	sc := DefaultSamplePlan
+	if plan != nil {
+		sc = *plan
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	// A dedicated session: results memoized by other figures must not
+	// serve either leg, or the timings would measure a map lookup.
+	sess := darco.NewSession(darco.WithWorkers(r.opts.Jobs))
+
+	t := stats.NewTable(
+		fmt.Sprintf("Figure SAMPLE: sampled vs full simulation (interval %d, every %d, warmup %d)",
+			sc.Interval, sc.Every, sc.Warmup),
+		"benchmark", "suite", "full-cycles", "est-cycles", "err%", "ci95%",
+		"measured", "full-s", "sampled-s", "speedup")
+	var sumErr, worstErr, sumSpeed float64
+	n := 0
+	err := r.forEach(func(p workload.Program) error {
+		t0 := time.Now()
+		full, err := sess.Run(r.ctx(), r.sampleJob(p, nil))
+		if err != nil {
+			return err
+		}
+		fullDur := time.Since(t0)
+		t0 = time.Now()
+		sampled, err := sess.Run(r.ctx(), r.sampleJob(p, &sc))
+		if err != nil {
+			return err
+		}
+		sampDur := time.Since(t0)
+		rep := sampled.Sampled
+		if rep == nil {
+			return fmt.Errorf("experiments: sampled run of %s carries no report", p.Name())
+		}
+
+		fullCyc := float64(full.Timing.Cycles)
+		errPct := 0.0
+		if fullCyc > 0 {
+			errPct = 100 * math.Abs(float64(rep.EstCycles)-fullCyc) / fullCyc
+		}
+		ciPct := 0.0
+		if m, ok := rep.Metric("cycles"); ok {
+			ciPct = 100 * m.RelErr
+		}
+		speed := 0.0
+		if sampDur > 0 {
+			speed = float64(fullDur) / float64(sampDur)
+		}
+		t.AddRow(p.Name(), p.Meta().Suite,
+			fmt.Sprint(full.Timing.Cycles),
+			fmt.Sprint(rep.EstCycles),
+			fmt.Sprintf("%.2f", errPct),
+			fmt.Sprintf("%.2f", ciPct),
+			fmt.Sprintf("%d/%d", len(rep.Measured), rep.Intervals),
+			fmt.Sprintf("%.3f", fullDur.Seconds()),
+			fmt.Sprintf("%.3f", sampDur.Seconds()),
+			fmt.Sprintf("%.1f", speed))
+		sumErr += errPct
+		if errPct > worstErr {
+			worstErr = errPct
+		}
+		sumSpeed += speed
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		t.AddRow("AVG", "", "", "",
+			fmt.Sprintf("%.2f", sumErr/float64(n)), "", "", "", "",
+			fmt.Sprintf("%.1f", sumSpeed/float64(n)))
+		t.AddRow("MAX-ERR", "", "", "", fmt.Sprintf("%.2f", worstErr), "", "", "", "", "")
+	}
+	return t, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/darco"
+	"repro/internal/sample"
+)
+
+// TestFigSampleShape pins the sampled-vs-full comparison figure: one
+// row per benchmark plus the AVG and MAX-ERR summary rows, a non-empty
+// measured-interval count, and a cycle estimate within the coarse
+// sanity band the sampled-run tests enforce.
+func TestFigSampleShape(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = 0.2
+	opts.Benchmarks = []string{"462.libquantum", "429.mcf"}
+	opts.Config = darco.DefaultConfig()
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := sample.Config{Interval: 10_000, Every: 3, Warmup: 1_000}
+	tab, err := r.FigSample(&plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 2 benchmarks + AVG + MAX-ERR", len(tab.Rows))
+	}
+	for _, row := range tab.Rows[:2] {
+		var errPct float64
+		if _, err := fscan(row[4], &errPct); err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if errPct > 50 {
+			t.Errorf("%s: cycle estimate off by %.1f%%, want within the 50%% sanity band", row[0], errPct)
+		}
+		if strings.HasPrefix(row[6], "0/") {
+			t.Errorf("%s: no intervals measured (%s)", row[0], row[6])
+		}
+		var speed float64
+		if _, err := fscan(row[9], &speed); err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if speed <= 0 {
+			t.Errorf("%s: speedup %v not positive", row[0], speed)
+		}
+	}
+	if tab.Rows[2][0] != "AVG" || tab.Rows[3][0] != "MAX-ERR" {
+		t.Fatalf("summary rows = %q, %q", tab.Rows[2][0], tab.Rows[3][0])
+	}
+	// A degenerate plan is rejected before any simulation.
+	bad := sample.Config{Interval: 100, Every: 2, Warmup: 100}
+	if _, err := r.FigSample(&bad); err == nil {
+		t.Fatal("degenerate plan accepted")
+	}
+}

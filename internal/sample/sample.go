@@ -1,0 +1,303 @@
+// Package sample implements SimPoint-style interval sampling for
+// billion-instruction runs: instead of simulating every guest
+// instruction in the detailed timing model, the run is divided into
+// fixed-size intervals of guest instructions, the machine is
+// fast-forwarded through them in cheap functional mode (the co-design
+// engine alone, which keeps every piece of TOL software state — profile
+// counters, code cache, translation table — exactly as warm as a full
+// run would), checkpointed at the boundaries of the selected intervals
+// (internal/snapshot envelopes), and only the selected intervals are
+// simulated in detail, in parallel across cores, each preceded by a
+// configurable detailed warm-up that fills the cold microarchitectural
+// structures before measurement begins.
+//
+// The whole-run statistics are then reconstructed as estimates: exact
+// functional quantities (guest instruction counts, TOL statistics,
+// final architectural state, total stream length) come from the
+// fast-forward pass for free, while timing quantities are extrapolated
+// with a ratio estimator — per-interval rates weighted by measured
+// stream length — and reported with 95% confidence error bars derived
+// from the across-interval variance. The estimator is deterministic:
+// intervals are combined in index order, so results are independent of
+// the number of workers.
+package sample
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/timing"
+)
+
+// Config selects the sampling plan. It is plain data: it participates
+// in darco's memo-cache key, so sampled and full runs of the same
+// workload never alias one cached result.
+type Config struct {
+	// Interval is the sampling interval in guest instructions.
+	Interval uint64 `json:"interval"`
+
+	// Every selects every k-th interval for detailed simulation
+	// (1 = all intervals; the speedup over a full detailed run grows
+	// roughly linearly with Every).
+	Every int `json:"every"`
+
+	// Warmup is the number of guest instructions simulated in detail
+	// before each measured interval to warm the cold microarchitectural
+	// structures (caches, TLBs, predictor). The warm-up window is
+	// excluded from measurement. Must be smaller than Interval.
+	Warmup uint64 `json:"warmup,omitempty"`
+}
+
+// DefaultConfig returns a sampling plan suited to the synthetic
+// workload catalog: 200k-instruction intervals, every 4th simulated,
+// 20k instructions of detailed warm-up.
+func DefaultConfig() Config {
+	return Config{Interval: 200_000, Every: 4, Warmup: 20_000}
+}
+
+// Validate rejects degenerate plans before any simulation starts.
+func (c *Config) Validate() error {
+	if c.Interval == 0 {
+		return fmt.Errorf("sample: interval must be positive")
+	}
+	if c.Every < 1 {
+		return fmt.Errorf("sample: every must be >= 1, got %d", c.Every)
+	}
+	if c.Warmup >= c.Interval {
+		return fmt.Errorf("sample: warmup (%d) must be smaller than the interval (%d)", c.Warmup, c.Interval)
+	}
+	return nil
+}
+
+// Interval is one measured interval: its position in the run and the
+// detailed-simulation measurement taken over it (warm-up excluded).
+type Interval struct {
+	Index     int     `json:"index"`      // interval number (start = Index*Interval guest insts)
+	Start     uint64  `json:"start"`      // first guest instruction of the interval
+	HostInsts uint64  `json:"host_insts"` // measured stream length (the estimator weight)
+	Cycles    uint64  `json:"cycles"`     // measured cycles
+	CPI       float64 `json:"cpi"`        // Cycles / HostInsts
+}
+
+// Metric is one whole-run estimate with its 95% confidence half-width.
+// CI95 is zero when fewer than two intervals were measured (a single
+// sample has no variance estimate).
+type Metric struct {
+	Name     string  `json:"name"`
+	Estimate float64 `json:"estimate"`
+	CI95     float64 `json:"ci95"`
+	RelErr   float64 `json:"rel_err,omitempty"` // CI95 / |Estimate|
+}
+
+// Report is the sampling digest attached to a sampled run's result:
+// the plan, the exact functional totals, the per-interval measurements,
+// and the whole-run estimates with error bars.
+type Report struct {
+	Config Config `json:"config"`
+
+	// Exact quantities from the functional fast-forward.
+	GuestInsts uint64 `json:"guest_insts"`
+	HostInsts  uint64 `json:"host_insts"`
+	Intervals  int    `json:"intervals"` // total intervals in the run
+
+	// FFCached reports that the fast-forward pass (checkpoints and
+	// functional totals) was served from the persistent store instead
+	// of re-simulated.
+	FFCached bool `json:"ff_cached,omitempty"`
+
+	Measured []Interval `json:"measured"`
+	Metrics  []Metric   `json:"metrics"`
+
+	// EstCycles is the whole-run cycle estimate (the "cycles" metric,
+	// rounded), in clear because every consumer needs it.
+	EstCycles uint64 `json:"est_cycles"`
+}
+
+// Metric returns the named whole-run estimate, reporting absence with
+// ok=false.
+func (r *Report) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// MaxRelErr returns the largest relative error across the report's
+// metrics — the figure-of-merit the experiments compare against the
+// documented accuracy bound.
+func (r *Report) MaxRelErr() float64 {
+	worst := 0.0
+	for _, m := range r.Metrics {
+		if m.RelErr > worst {
+			worst = m.RelErr
+		}
+	}
+	return worst
+}
+
+// addResult accumulates src's counters into dst element-wise — the
+// inverse of timing.Result.Sub, used to pool measured intervals before
+// extrapolation.
+func addResult(dst, src *timing.Result) {
+	dst.Cycles += src.Cycles
+	for o := timing.Owner(0); o < timing.NumOwners; o++ {
+		dst.Insts[o] += src.Insts[o]
+		dst.InstCycles[o] += src.InstCycles[o]
+		for k := timing.BubbleKind(0); k < timing.NumBubbleKinds; k++ {
+			dst.Bubbles[o][k] += src.Bubbles[o][k]
+		}
+		dst.Branch.Branches[o] += src.Branch.Branches[o]
+		dst.Branch.Mispredicts[o] += src.Branch.Mispredicts[o]
+	}
+	for c := timing.Component(0); c < timing.NumComponents; c++ {
+		dst.InstsByComp[c] += src.InstsByComp[c]
+		dst.InstCyclesByComp[c] += src.InstCyclesByComp[c]
+		dst.BubblesByComp[c] += src.BubblesByComp[c]
+	}
+	dst.UnattributedCycles += src.UnattributedCycles
+	addCache := func(d, s *timing.CacheStats) {
+		for o := timing.Owner(0); o < timing.NumOwners; o++ {
+			d.Accesses[o] += s.Accesses[o]
+			d.Misses[o] += s.Misses[o]
+		}
+	}
+	addCache(&dst.L1I, &src.L1I)
+	addCache(&dst.L1D, &src.L1D)
+	addCache(&dst.L2, &src.L2)
+	addCache(&dst.L1TLB, &src.L1TLB)
+	addCache(&dst.L2TLB, &src.L2TLB)
+	dst.PrefetchesIssued += src.PrefetchesIssued
+}
+
+// scaleResult multiplies every counter of r by f, rounding the integer
+// counters — the extrapolation of the pooled measured intervals to the
+// whole run.
+func scaleResult(r *timing.Result, f float64) timing.Result {
+	scaleU := func(v uint64) uint64 { return uint64(math.Round(float64(v) * f)) }
+	var d timing.Result
+	d.Cycles = scaleU(r.Cycles)
+	for o := timing.Owner(0); o < timing.NumOwners; o++ {
+		d.Insts[o] = scaleU(r.Insts[o])
+		d.InstCycles[o] = r.InstCycles[o] * f
+		for k := timing.BubbleKind(0); k < timing.NumBubbleKinds; k++ {
+			d.Bubbles[o][k] = r.Bubbles[o][k] * f
+		}
+		d.Branch.Branches[o] = scaleU(r.Branch.Branches[o])
+		d.Branch.Mispredicts[o] = scaleU(r.Branch.Mispredicts[o])
+	}
+	for c := timing.Component(0); c < timing.NumComponents; c++ {
+		d.InstsByComp[c] = scaleU(r.InstsByComp[c])
+		d.InstCyclesByComp[c] = r.InstCyclesByComp[c] * f
+		d.BubblesByComp[c] = r.BubblesByComp[c] * f
+	}
+	d.UnattributedCycles = r.UnattributedCycles * f
+	scaleCache := func(dc, sc *timing.CacheStats) {
+		for o := timing.Owner(0); o < timing.NumOwners; o++ {
+			dc.Accesses[o] = scaleU(sc.Accesses[o])
+			dc.Misses[o] = scaleU(sc.Misses[o])
+		}
+	}
+	scaleCache(&d.L1I, &r.L1I)
+	scaleCache(&d.L1D, &r.L1D)
+	scaleCache(&d.L2, &r.L2)
+	scaleCache(&d.L1TLB, &r.L1TLB)
+	scaleCache(&d.L2TLB, &r.L2TLB)
+	d.PrefetchesIssued = scaleU(r.PrefetchesIssued)
+	return d
+}
+
+// estimate builds the whole-run metrics from per-interval measurements.
+// Pooled counters use the ratio estimator (sum of measured counters /
+// sum of measured weights, extrapolated by the exact whole-run stream
+// length); error bars are 1.96 standard errors of the per-interval
+// values. Everything folds in interval-index order, so the estimates
+// are bit-identical regardless of measurement parallelism.
+func estimate(intervals []Interval, measured []timing.Result, totalHostInsts uint64) (timing.Result, []Metric, uint64) {
+	var pooled timing.Result
+	var sumW float64
+	type series struct {
+		name   string
+		values []float64
+	}
+	names := []string{
+		"cycles", "ipc", "tol_share",
+		"dmiss_bubble_share", "imiss_bubble_share", "branch_bubble_share", "sched_bubble_share",
+		"l1d_miss_rate", "mispredict_rate",
+	}
+	perInterval := make(map[string][]float64, len(names))
+	for i := range intervals {
+		if intervals[i].HostInsts == 0 {
+			continue // empty tail interval: no information
+		}
+		addResult(&pooled, &measured[i])
+		sumW += float64(intervals[i].HostInsts)
+		r := &measured[i]
+		perInterval["cycles"] = append(perInterval["cycles"], intervals[i].CPI)
+		perInterval["ipc"] = append(perInterval["ipc"], r.IPC())
+		perInterval["tol_share"] = append(perInterval["tol_share"], r.TOLShare())
+		perInterval["dmiss_bubble_share"] = append(perInterval["dmiss_bubble_share"], r.BubbleShare(timing.BubbleDMiss))
+		perInterval["imiss_bubble_share"] = append(perInterval["imiss_bubble_share"], r.BubbleShare(timing.BubbleIMiss))
+		perInterval["branch_bubble_share"] = append(perInterval["branch_bubble_share"], r.BubbleShare(timing.BubbleBranch))
+		perInterval["sched_bubble_share"] = append(perInterval["sched_bubble_share"], r.BubbleShare(timing.BubbleSched))
+		perInterval["l1d_miss_rate"] = append(perInterval["l1d_miss_rate"], r.L1D.MissRate())
+		perInterval["mispredict_rate"] = append(perInterval["mispredict_rate"], r.Branch.MispredictRate())
+	}
+	if sumW == 0 {
+		return timing.Result{}, nil, 0
+	}
+	f := float64(totalHostInsts) / sumW
+	est := scaleResult(&pooled, f)
+	// The stream length is exact; only rates are estimated.
+	estCycles := est.Cycles
+
+	// Ratio point estimates for the derived metrics, from the pooled
+	// counters (self-weighted); CIs from per-interval spread.
+	point := map[string]float64{
+		"cycles":              float64(estCycles),
+		"ipc":                 est.IPC(),
+		"tol_share":           est.TOLShare(),
+		"dmiss_bubble_share":  est.BubbleShare(timing.BubbleDMiss),
+		"imiss_bubble_share":  est.BubbleShare(timing.BubbleIMiss),
+		"branch_bubble_share": est.BubbleShare(timing.BubbleBranch),
+		"sched_bubble_share":  est.BubbleShare(timing.BubbleSched),
+		"l1d_miss_rate":       est.L1D.MissRate(),
+		"mispredict_rate":     est.Branch.MispredictRate(),
+	}
+	metrics := make([]Metric, 0, len(names))
+	for _, name := range names {
+		vals := perInterval[name]
+		m := Metric{Name: name, Estimate: point[name]}
+		ci := ci95(vals)
+		if name == "cycles" {
+			ci *= float64(totalHostInsts) // CPI spread scaled to total cycles
+		}
+		m.CI95 = ci
+		if a := math.Abs(m.Estimate); a > 0 {
+			m.RelErr = m.CI95 / a
+		}
+		metrics = append(metrics, m)
+	}
+	return est, metrics, estCycles
+}
+
+// ci95 returns the 95% confidence half-width of the mean of vals
+// (1.96 standard errors), or zero when variance cannot be estimated.
+func ci95(vals []float64) float64 {
+	n := float64(len(vals))
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / n
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return 1.96 * math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+}

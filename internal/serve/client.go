@@ -137,6 +137,15 @@ func (c *Client) Jobs(ctx context.Context, tenant string) ([]JobStatus, error) {
 	return out, err
 }
 
+// Delete removes a completed job from the server's registry and
+// returns its final status. The server refuses (409) while the job is
+// queued or running.
+func (c *Client) Delete(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
 // Health fetches the server health report.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"sync"
+	"time"
 
 	"repro/internal/darco"
 )
@@ -29,6 +30,7 @@ type job struct {
 	cycles    uint64
 	raw       json.RawMessage // marshaled darco.Record, set when terminal
 	err       error
+	doneAt    time.Time // when the job reached a terminal state
 
 	done chan struct{} // closed when the job reaches a terminal state
 }
@@ -108,9 +110,18 @@ func (j *job) finish(raw json.RawMessage, err error) {
 		j.state = StateDone
 	}
 	j.raw = raw
+	j.doneAt = time.Now()
 	j.broadcastLocked()
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// terminalAt reports whether the job has finished and, if so, when —
+// the TTL-eviction probe.
+func (j *job) terminalAt() (bool, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed, j.doneAt
 }
 
 func (j *job) status() JobStatus {

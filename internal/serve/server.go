@@ -16,6 +16,8 @@
 //	                        503 while shutting down)
 //	GET  /jobs              list job statuses (?tenant= filters)
 //	GET  /jobs/{id}         one JobStatus
+//	DELETE /jobs/{id}       drop a completed job from the registry
+//	                        (409 while queued or running)
 //	GET  /jobs/{id}/events  SSE stream of WireEvents (replay + live)
 //	GET  /jobs/{id}/result  the darco.Record (?wait=1 blocks until done)
 //	GET  /store             persistent-store listing ([]store.Meta)
@@ -39,6 +41,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/darco"
 	"repro/internal/store"
@@ -71,6 +74,17 @@ type Config struct {
 	// Log receives one line per job lifecycle transition (nil =
 	// silent).
 	Log io.Writer
+	// JobTTL, when positive, bounds how long completed (done or
+	// failed) jobs stay in the in-memory registry: jobs terminal for
+	// longer than the TTL are swept out on the next API touch. Results
+	// persisted to the Store survive eviction; only the job id and its
+	// event log are dropped. Zero keeps completed jobs forever.
+	JobTTL time.Duration
+	// StoreMaxBytes, when positive, is the persistent store's size
+	// quota: after every finished job the least recently used entries
+	// are evicted until the store fits (store.EvictToSize). Zero
+	// disables the quota.
+	StoreMaxBytes int64
 }
 
 // Server is the simulation service. Create it with NewServer, mount it
@@ -81,6 +95,8 @@ type Server struct {
 	st         *store.Store
 	base       darco.Config
 	log        io.Writer
+	jobTTL     time.Duration
+	storeMax   int64
 	sess       *darco.Session
 	queue      *fairQueue
 	mux        *http.ServeMux
@@ -119,6 +135,8 @@ func NewServer(cfg Config) *Server {
 		st:         cfg.Store,
 		base:       base,
 		log:        cfg.Log,
+		jobTTL:     cfg.JobTTL,
+		storeMax:   cfg.StoreMaxBytes,
 		queue:      newFairQueue(),
 		runCtx:     runCtx,
 		cancelRuns: cancel,
@@ -133,6 +151,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /store", s.handleStoreList)
@@ -227,6 +246,42 @@ func (s *Server) recordBytes(j *job, res *darco.Result, err error) json.RawMessa
 	return raw
 }
 
+// sweepExpired drops completed jobs older than the registry TTL. It
+// runs on every registry-touching request (submit, list, health), so a
+// busy server converges without a background timer and an idle one
+// holds nothing but what nobody asks about.
+func (s *Server) sweepExpired() {
+	if s.jobTTL <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-s.jobTTL)
+	var expired []string
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		if terminal, at := j.terminalAt(); terminal && at.Before(cutoff) {
+			delete(s.jobs, id)
+			expired = append(expired, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range expired {
+		s.logf("job %s expired from registry (ttl %s)", id, s.jobTTL)
+	}
+}
+
+// enforceStoreQuota applies the persistent store's size bound after a
+// finished job may have grown it.
+func (s *Server) enforceStoreQuota() {
+	if s.st == nil || s.storeMax <= 0 {
+		return
+	}
+	if removed, freed, err := s.st.EvictToSize(s.storeMax); err != nil {
+		s.logf("store quota: %v", err)
+	} else if removed > 0 {
+		s.logf("store quota: evicted %d entries (%d bytes) to fit %d", removed, freed, s.storeMax)
+	}
+}
+
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	s.startSeq++
@@ -238,6 +293,7 @@ func (s *Server) runJob(j *job) {
 
 	res, err := s.sess.Run(s.runCtx, j.sjob)
 	j.finish(s.recordBytes(j, res, err), err)
+	s.enforceStoreQuota()
 
 	s.mu.Lock()
 	s.running--
@@ -298,6 +354,7 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.sweepExpired()
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -378,6 +435,7 @@ func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.sweepExpired()
 	tenant := r.URL.Query().Get("tenant")
 	s.mu.Lock()
 	all := make([]*job, 0, len(s.jobs))
@@ -400,6 +458,31 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if j := s.jobFor(w, r); j != nil {
 		writeJSON(w, http.StatusOK, j.status())
 	}
+}
+
+// handleDelete removes a completed job from the registry — the manual
+// form of TTL eviction. A queued or running job is refused with 409;
+// deleting never cancels work. Store entries are untouched, so a
+// deleted job's result remains fetchable by content address.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	st := j.status()
+	if st.State != StateDone && st.State != StateFailed {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %s is %s; only completed jobs can be deleted", id, st.State)
+		return
+	}
+	delete(s.jobs, id)
+	s.mu.Unlock()
+	s.logf("job %s deleted", id)
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleEvents streams the job's event log as Server-Sent Events:
@@ -517,6 +600,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.sweepExpired()
 	s.mu.Lock()
 	running := s.running
 	njobs := len(s.jobs)

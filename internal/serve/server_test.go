@@ -477,6 +477,115 @@ func TestSubmitValidation(t *testing.T) {
 
 func intp(v int) *int { return &v }
 
+// TestDeleteJob pins the manual registry-eviction endpoint: a running
+// job is refused, a completed one is removed and subsequent lookups
+// 404.
+func TestDeleteJob(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	ref, release := gatedRef(t, "delete-running")
+	resp, err := c.Submit(ctx, SubmitRequest{Workload: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, resp.ID, StateRunning)
+
+	var se *StatusError
+	if _, err := c.Delete(ctx, resp.ID); !asStatus(err, &se) || se.Code != 409 {
+		t.Fatalf("delete of running job: err = %v, want 409", err)
+	}
+
+	release()
+	waitState(t, c, resp.ID, StateDone)
+	st, err := c.Delete(ctx, resp.ID)
+	if err != nil {
+		t.Fatalf("delete of completed job: %v", err)
+	}
+	if st.ID != resp.ID || st.State != StateDone {
+		t.Fatalf("deleted status = %+v, want final done status of %s", st, resp.ID)
+	}
+
+	if _, err := c.Status(ctx, resp.ID); !asStatus(err, &se) || se.Code != 404 {
+		t.Fatalf("status after delete: err = %v, want 404", err)
+	}
+	if _, err := c.Delete(ctx, resp.ID); !asStatus(err, &se) || se.Code != 404 {
+		t.Fatalf("second delete: err = %v, want 404", err)
+	}
+	if _, err := c.Delete(ctx, "j-999999"); !asStatus(err, &se) || se.Code != 404 {
+		t.Fatalf("delete of unknown job: err = %v, want 404", err)
+	}
+}
+
+// TestCompletedJobTTLEviction pins the registry TTL: a job terminal for
+// longer than Config.JobTTL disappears from the registry on the next
+// API touch, while fresh completed jobs survive.
+func TestCompletedJobTTLEviction(t *testing.T) {
+	srv, c := newTestServer(t, Config{Workers: 1, JobTTL: time.Hour})
+	ctx := context.Background()
+
+	resp := submitTiny(t, c, "synthetic:429.mcf")
+	waitState(t, c, resp.ID, StateDone)
+
+	// A freshly completed job survives a sweep.
+	jobs, err := c.Jobs(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != resp.ID {
+		t.Fatalf("jobs after completion = %+v, want the completed job", jobs)
+	}
+
+	// Age the job past the TTL; the next listing sweeps it out.
+	srv.mu.Lock()
+	j := srv.jobs[resp.ID]
+	srv.mu.Unlock()
+	if j == nil {
+		t.Fatalf("job %s missing from registry", resp.ID)
+	}
+	j.mu.Lock()
+	j.doneAt = time.Now().Add(-2 * time.Hour)
+	j.mu.Unlock()
+
+	jobs, err = c.Jobs(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("jobs after TTL expiry = %+v, want empty", jobs)
+	}
+	var se *StatusError
+	if _, err := c.Status(ctx, resp.ID); !asStatus(err, &se) || se.Code != 404 {
+		t.Fatalf("status after TTL eviction: err = %v, want 404", err)
+	}
+}
+
+// TestStoreQuotaEnforcedAfterJobs pins Config.StoreMaxBytes: after each
+// finished job the store is evicted down to the quota, coldest first.
+func TestStoreQuotaEnforcedAfterJobs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A quota far below one record's size: after every run only the
+	// newest entries that fit (possibly none) may remain, so the store
+	// never grows without bound.
+	_, c := newTestServer(t, Config{Workers: 1, Store: st, StoreMaxBytes: 1})
+
+	for _, ref := range []string{"synthetic:470.lbm", "synthetic:429.mcf"} {
+		resp := submitTiny(t, c, ref)
+		waitState(t, c, resp.ID, StateDone)
+	}
+	_, bytes, err := st.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes > 1 {
+		t.Fatalf("store holds %d bytes, want quota of 1 enforced", bytes)
+	}
+}
+
 func ExampleClient() {
 	// A remote Session: every tool that takes darco.SessionOption can
 	// execute on a darco-serve instance instead of simulating locally.

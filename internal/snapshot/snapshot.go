@@ -1,0 +1,137 @@
+// Package snapshot is the checkpoint envelope of the simulation
+// infrastructure: a versioned, JSON-serializable capture of the full
+// machine state — the co-design engine (guest memory image, warm TOL
+// software state, accumulated statistics) and, optionally, the timing
+// simulator paused at a cycle boundary.
+//
+// The component layers own their own serialization (tol.EngineSnapshot
+// and timing.SimSnapshot, each with a tested byte-identity guarantee:
+// a restored machine resumed on the remainder of a run produces
+// results identical to the uninterrupted run). This package composes
+// them into one durable artifact with a format version and a program
+// fingerprint, so a checkpoint can be persisted through
+// internal/store, shipped between processes, and validated before a
+// restore instead of failing obscurely mid-run.
+//
+// Sampled simulation (internal/sample) is the main producer: it
+// checkpoints the engine at interval boundaries during a functional
+// fast-forward and restores each checkpoint for parallel detailed
+// measurement.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/timing"
+	"repro/internal/tol"
+)
+
+// Version is the current checkpoint format version. Decode rejects
+// envelopes with a different version: checkpoint formats evolve with
+// the machine state they capture, and a mis-versioned restore would
+// corrupt a run silently.
+const Version = 1
+
+// Machine is one checkpoint: the engine state (always) plus the timing
+// simulator state (when the checkpoint was taken mid-simulation rather
+// than at a functional fast-forward boundary).
+type Machine struct {
+	Version int `json:"version"`
+
+	// Program identifies the guest program the checkpoint belongs to —
+	// the workload content fingerprint when known, empty otherwise.
+	// Restore validates it when both sides carry one.
+	Program string `json:"program,omitempty"`
+
+	// GuestInsts is the number of guest instructions retired at capture
+	// time, recorded in clear so tools can order and label checkpoints
+	// without decoding the engine state.
+	GuestInsts uint64 `json:"guest_insts"`
+
+	Engine *tol.EngineSnapshot `json:"engine"`
+	Sim    *timing.SimSnapshot `json:"sim,omitempty"`
+}
+
+// Capture checkpoints an engine (and optionally a paused simulator)
+// into a Machine envelope. The engine must be at a generation boundary
+// (between Next/NextBatch calls); the simulator, when given, must be
+// stopped at a cycle boundary (before RunContext, or after it returned
+// ErrPaused).
+func Capture(program string, eng *tol.Engine, sim *timing.Simulator) (*Machine, error) {
+	esn, err := eng.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	m := &Machine{
+		Version:    Version,
+		Program:    program,
+		GuestInsts: esn.GuestInsts(),
+		Engine:     esn,
+	}
+	if sim != nil {
+		m.Sim = sim.Snapshot()
+	}
+	return m, nil
+}
+
+// Validate checks the envelope is restorable: current version, engine
+// state present, and — when both the envelope and the caller know the
+// program fingerprint — a matching program.
+func (m *Machine) Validate(program string) error {
+	if m.Version != Version {
+		return fmt.Errorf("snapshot: format version %d, this build reads version %d", m.Version, Version)
+	}
+	if m.Engine == nil {
+		return fmt.Errorf("snapshot: envelope has no engine state")
+	}
+	if program != "" && m.Program != "" && program != m.Program {
+		return fmt.Errorf("snapshot: checkpoint of program %s cannot restore program %s", m.Program, program)
+	}
+	return nil
+}
+
+// Restore rebuilds the machine: an engine resumed from the checkpoint
+// and, when the checkpoint carries simulator state, the paused
+// simulator ready to continue via RunContext. p must be the same guest
+// program the checkpoint was captured from.
+func (m *Machine) Restore(p *guest.Program) (*tol.Engine, *timing.Simulator, error) {
+	if err := m.Validate(""); err != nil {
+		return nil, nil, err
+	}
+	eng, err := tol.RestoreEngine(p, m.Engine)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var sim *timing.Simulator
+	if m.Sim != nil {
+		sim, err = timing.RestoreSimulator(m.Sim)
+		if err != nil {
+			return nil, nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	return eng, sim, nil
+}
+
+// Encode marshals the envelope.
+func Encode(m *Machine) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return b, nil
+}
+
+// Decode unmarshals and validates an envelope. Unknown versions are
+// rejected here, before any state is interpreted.
+func Decode(b []byte) (*Machine, error) {
+	var m Machine
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if err := m.Validate(""); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/darco"
+)
+
+func gcTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return s
+}
+
+func putEntry(t *testing.T, s *Store, key string, size int) {
+	t.Helper()
+	raw, _ := json.Marshal(map[string]string{"pad": string(make([]byte, size))})
+	if err := s.PutRaw(key, raw); err != nil {
+		t.Fatalf("put %s: %v", key, err)
+	}
+}
+
+func backdate(t *testing.T, s *Store, key string, age time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(s.path(key), when, when); err != nil {
+		t.Fatalf("chtimes %s: %v", key, err)
+	}
+}
+
+func TestEvictToSizeRemovesColdestFirst(t *testing.T) {
+	s := gcTestStore(t)
+	putEntry(t, s, "old", 4000)
+	putEntry(t, s, "mid", 4000)
+	putEntry(t, s, "new", 4000)
+	backdate(t, s, "old", 3*time.Hour)
+	backdate(t, s, "mid", 2*time.Hour)
+	backdate(t, s, "new", 1*time.Hour)
+
+	_, total, err := s.Usage()
+	if err != nil {
+		t.Fatalf("usage: %v", err)
+	}
+	// Quota that forces exactly one eviction.
+	removed, freed, err := s.EvictToSize(total - 1)
+	if err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	if removed != 1 || freed == 0 {
+		t.Fatalf("removed=%d freed=%d, want one eviction", removed, freed)
+	}
+	if _, ok, _ := s.GetRaw("old"); ok {
+		t.Error("coldest entry survived eviction")
+	}
+	for _, key := range []string{"mid", "new"} {
+		if _, ok, _ := s.GetRaw(key); !ok {
+			t.Errorf("entry %s evicted out of order", key)
+		}
+	}
+}
+
+func TestEvictToSizeDisabledQuota(t *testing.T) {
+	s := gcTestStore(t)
+	putEntry(t, s, "a", 1000)
+	removed, _, err := s.EvictToSize(0)
+	if err != nil || removed != 0 {
+		t.Fatalf("zero quota must be a no-op, got removed=%d err=%v", removed, err)
+	}
+	if _, ok, _ := s.GetRaw("a"); !ok {
+		t.Fatal("entry removed under disabled quota")
+	}
+}
+
+// TestGetRefreshesAccessTime pins the LRU signal: a hit must protect an
+// entry from the next eviction pass.
+func TestGetRefreshesAccessTime(t *testing.T) {
+	s := gcTestStore(t)
+	rec := &darco.Record{Benchmark: "b", Mode: "shared"}
+	if err := s.Put("hot", rec); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	putEntry(t, s, "cold", 100)
+	backdate(t, s, "hot", 3*time.Hour)
+	backdate(t, s, "cold", 2*time.Hour)
+
+	if _, ok, err := s.Get("hot"); !ok || err != nil {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	// After the hit, "cold" is now the LRU entry. A quota with room for
+	// one entry must evict it and keep the freshly read one.
+	_, total, err := s.Usage()
+	if err != nil {
+		t.Fatalf("usage: %v", err)
+	}
+	coldInfo, err := os.Stat(s.path("cold"))
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if _, _, err := s.EvictToSize(total - coldInfo.Size()); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	if _, ok, _ := s.Get("cold"); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok, _ := s.Get("hot"); !ok {
+		t.Error("recently read entry evicted before a colder one")
+	}
+}

@@ -173,6 +173,7 @@ func (s *Store) GetRaw(key string) (json.RawMessage, bool, error) {
 	if !ok || err != nil {
 		return nil, false, err
 	}
+	s.touch(key)
 	return env.Record, true, nil
 }
 
@@ -189,6 +190,7 @@ func (s *Store) Get(key string) (*darco.Record, bool, error) {
 	if err := json.Unmarshal(env.Record, &rec); err != nil {
 		return nil, false, nil // corrupt record: miss, not fatal
 	}
+	s.touch(key)
 	return &rec, true, nil
 }
 

@@ -61,7 +61,10 @@ type Simulator struct {
 	// I$) inside the batch buffer; nil when none. The batch is only
 	// refilled after the pointee is consumed into the IQ, so the
 	// reference stays valid without copying the instruction out.
+	// pendingBuf is the restore-time home of a snapshotted pending
+	// instruction, which no longer has a live batch slot to point into.
 	pending    *DynInst
+	pendingBuf DynInst
 	streamDone bool
 
 	// Stream batching: instructions are pulled from the source in
@@ -100,6 +103,17 @@ type Simulator struct {
 	// ProgressEvery is the Progress callback period in cycles
 	// (0 = defaultProgressEvery).
 	ProgressEvery uint64
+
+	// StopWhen, when non-nil, is evaluated at the top of every cycle;
+	// returning true pauses the simulation at that cycle boundary and
+	// RunContext returns ErrPaused with all in-flight state intact. The
+	// caller may then Snapshot the simulator and/or resume it by calling
+	// RunContext again (replacing or clearing StopWhen first, or the
+	// pause re-fires immediately). The predicate typically inspects the
+	// stream source (e.g. the engine's retired-instruction count), which
+	// advances only at batch refills, so pauses land deterministically
+	// for a given stream and configuration.
+	StopWhen func() bool
 }
 
 // defaultProgressEvery is the Progress period when unset: frequent
@@ -265,7 +279,10 @@ func (s *Simulator) RunContext(ctx context.Context, src StreamSource) (*Result, 
 	if progressEvery == 0 {
 		progressEvery = defaultProgressEvery
 	}
-	s.nextProgress = progressEvery
+	// Next period boundary strictly above the current cycle, so resumed
+	// simulators (restored snapshots, ErrPaused continuations) keep
+	// reporting instead of waiting for a boundary already behind them.
+	s.nextProgress = (s.cycle/progressEvery + 1) * progressEvery
 	s.runCtx = ctx
 	s.src = src
 	s.bsrc, _ = src.(BatchSource)
@@ -286,6 +303,9 @@ func (s *Simulator) RunContext(ctx context.Context, src StreamSource) (*Result, 
 		if s.MaxCycles != 0 && s.cycle > s.MaxCycles {
 			return nil, fmt.Errorf("timing: exceeded MaxCycles=%d at %d retired insts",
 				s.MaxCycles, s.res.TotalInsts())
+		}
+		if s.StopWhen != nil && s.StopWhen() {
+			return nil, ErrPaused
 		}
 		s.fetch()
 		issued := s.issue()
@@ -483,23 +503,35 @@ func (s *Simulator) accountBubble() {
 	}
 }
 
-func (s *Simulator) finishResult() {
-	s.res.Cycles = s.cycle
+// ResultSoFar returns a copy of the accumulated Result as of the
+// current cycle boundary with the live structure statistics folded in,
+// without disturbing the in-progress accumulation. It is the
+// measurement primitive of sampled simulation: the warm-up mark is a
+// ResultSoFar, and the measured interval is the element-wise
+// difference (Result.Sub) between the final result and that mark.
+func (s *Simulator) ResultSoFar() Result {
+	res := s.res
+	res.Cycles = s.cycle
 	for i := 0; i < int(NumOwners); i++ {
 		if s.l1i[i] == nil {
 			continue
 		}
-		addCache(&s.res.L1I, &s.l1i[i].Stats)
-		addCache(&s.res.L1D, &s.l1d[i].Stats)
-		addCache(&s.res.L2, &s.l2[i].Stats)
-		addCache(&s.res.L1TLB, &s.l1t[i].Stats)
-		addCache(&s.res.L2TLB, &s.l2t[i].Stats)
+		addCache(&res.L1I, &s.l1i[i].Stats)
+		addCache(&res.L1D, &s.l1d[i].Stats)
+		addCache(&res.L2, &s.l2[i].Stats)
+		addCache(&res.L1TLB, &s.l1t[i].Stats)
+		addCache(&res.L2TLB, &s.l2t[i].Stats)
 		for o := Owner(0); o < NumOwners; o++ {
-			s.res.Branch.Branches[o] += s.bp[i].Stats.Branches[o]
-			s.res.Branch.Mispredicts[o] += s.bp[i].Stats.Mispredicts[o]
+			res.Branch.Branches[o] += s.bp[i].Stats.Branches[o]
+			res.Branch.Mispredicts[o] += s.bp[i].Stats.Mispredicts[o]
 		}
-		s.res.PrefetchesIssued += s.pref[i].Issued
+		res.PrefetchesIssued += s.pref[i].Issued
 	}
+	return res
+}
+
+func (s *Simulator) finishResult() {
+	s.res = s.ResultSoFar()
 }
 
 func addCache(dst, src *CacheStats) {

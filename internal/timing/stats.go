@@ -61,6 +61,45 @@ type Result struct {
 // TotalInsts returns total retired instructions.
 func (r *Result) TotalInsts() uint64 { return r.Insts[OwnerApp] + r.Insts[OwnerTOL] }
 
+// Sub returns the element-wise difference r − base of every counter,
+// the measurement taken between two Simulator.ResultSoFar marks of the
+// same run (base first). Sampled simulation uses it to discard the
+// warm-up prefix of a measured interval.
+func (r Result) Sub(base *Result) Result {
+	d := r
+	d.Cycles -= base.Cycles
+	for o := Owner(0); o < NumOwners; o++ {
+		d.Insts[o] -= base.Insts[o]
+		d.InstCycles[o] -= base.InstCycles[o]
+		for k := BubbleKind(0); k < NumBubbleKinds; k++ {
+			d.Bubbles[o][k] -= base.Bubbles[o][k]
+		}
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		d.InstsByComp[c] -= base.InstsByComp[c]
+		d.InstCyclesByComp[c] -= base.InstCyclesByComp[c]
+		d.BubblesByComp[c] -= base.BubblesByComp[c]
+	}
+	d.UnattributedCycles -= base.UnattributedCycles
+	subCache := func(dst *CacheStats, b *CacheStats) {
+		for o := Owner(0); o < NumOwners; o++ {
+			dst.Accesses[o] -= b.Accesses[o]
+			dst.Misses[o] -= b.Misses[o]
+		}
+	}
+	subCache(&d.L1I, &base.L1I)
+	subCache(&d.L1D, &base.L1D)
+	subCache(&d.L2, &base.L2)
+	subCache(&d.L1TLB, &base.L1TLB)
+	subCache(&d.L2TLB, &base.L2TLB)
+	for o := Owner(0); o < NumOwners; o++ {
+		d.Branch.Branches[o] -= base.Branch.Branches[o]
+		d.Branch.Mispredicts[o] -= base.Branch.Mispredicts[o]
+	}
+	d.PrefetchesIssued -= base.PrefetchesIssued
+	return d
+}
+
 // IPC returns retired instructions per cycle.
 func (r *Result) IPC() float64 {
 	if r.Cycles == 0 {

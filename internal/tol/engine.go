@@ -73,6 +73,16 @@ type Engine struct {
 	// least once, so rebuilding one counts as a retranslation.
 	evicted map[uint32]bool
 
+	// stopAfter, when nonzero, pauses the stream once the co-design
+	// component has retired at least stopAfter guest instructions: the
+	// already-generated stream drains and then Next/NextBatch report
+	// stream end with paused set, leaving the engine at a consistent
+	// generation boundary. SetStopAfter with a higher bound (or zero)
+	// un-pauses. Checkpoint fast-forward and interval-bounded sampled
+	// runs are built on this.
+	stopAfter uint64
+	paused    bool
+
 	Stats Stats
 }
 
@@ -140,6 +150,25 @@ func (e *Engine) Halted() bool { return e.halted }
 // meaningful once halted or while in IM).
 func (e *Engine) GuestState() *guest.State { return &e.gs }
 
+// SetStopAfter arms (or, with 0, disarms) the guest-instruction pause
+// bound. The engine pauses at the first generation boundary at or
+// beyond n retired guest instructions — not exactly at n, since
+// translated execution retires in bursts — which keeps the boundary
+// deterministic for a given program and configuration.
+func (e *Engine) SetStopAfter(n uint64) {
+	e.stopAfter = n
+	e.paused = false
+}
+
+// Paused reports whether the stream ended because the SetStopAfter
+// bound was reached (rather than guest halt or an error).
+func (e *Engine) Paused() bool { return e.paused }
+
+// stopDue reports whether the pause bound is armed and reached.
+func (e *Engine) stopDue() bool {
+	return e.stopAfter != 0 && e.Stats.DynTotal() >= e.stopAfter
+}
+
 // Next implements timing.StreamSource.
 func (e *Engine) Next(d *timing.DynInst) bool {
 	for {
@@ -147,6 +176,10 @@ func (e *Engine) Next(d *timing.DynInst) bool {
 			return true
 		}
 		if e.halted || e.err != nil {
+			return false
+		}
+		if e.stopDue() {
+			e.paused = true
 			return false
 		}
 		e.generate()
@@ -164,6 +197,10 @@ func (e *Engine) NextBatch(buf []timing.DynInst) int {
 			return n
 		}
 		if e.halted || e.err != nil {
+			return 0
+		}
+		if e.stopDue() {
+			e.paused = true
 			return 0
 		}
 		e.generate()

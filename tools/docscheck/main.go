@@ -18,8 +18,8 @@
 // References are recognized inside backticks as <pkg>.<Exported> with
 // an optional .<Member> tail, where <pkg> is one of the repository's
 // package names (guest, x86emu, host, mem, tol, timing, darco,
-// workload, experiments, stats, store, serve). Member references are
-// checked
+// workload, experiments, stats, store, serve, snapshot, sample).
+// Member references are checked
 // against the type's method and struct-field sets; anything deeper is
 // accepted once the first two levels resolve.
 package main
@@ -51,6 +51,8 @@ var packages = map[string]string{
 	"stats":       "internal/stats",
 	"store":       "internal/store",
 	"serve":       "internal/serve",
+	"snapshot":    "internal/snapshot",
+	"sample":      "internal/sample",
 }
 
 // pkgIndex holds one package's exported surface.
