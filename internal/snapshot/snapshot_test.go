@@ -9,6 +9,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/timing"
 	"repro/internal/tol"
+	"repro/internal/workload"
 )
 
 func fibProgram(n int32) *guest.Program {
@@ -109,6 +110,84 @@ func TestMachineRoundTrip(t *testing.T) {
 	}
 	if d := eng2.GuestState().Diff(refEng.GuestState()); d != "" {
 		t.Fatalf("final guest state differs: %s", d)
+	}
+}
+
+// TestMachineRoundTripFuzzSpecs extends the byte-identity guarantee to
+// fuzz-generated workloads: seeded specs from the fuzz: generator —
+// promotion-straddling loops, dense indirect dispatch, working-set
+// shifts — must checkpoint mid-run, restore, and resume to exactly the
+// uninterrupted run's timing Result, TOL stats, and guest state.
+func TestMachineRoundTripFuzzSpecs(t *testing.T) {
+	for _, ref := range []struct {
+		seed    int64
+		profile string
+	}{{11, "hot"}, {12, "indirect"}, {13, "shift"}, {14, "tiny"}} {
+		spec, err := workload.GenSpec(ref.seed, ref.profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec = spec.Clamp(20_000)
+		t.Run(spec.Name, func(t *testing.T) {
+			p, err := workload.SpecProgram{Spec: spec}.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcfg := tol.DefaultConfig()
+			mcfg := timing.DefaultConfig()
+
+			refEng := tol.NewEngine(tcfg, p)
+			refSim := timing.NewSimulator(mcfg, timing.ModeShared)
+			refRes, err := refSim.Run(refEng)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			pause := refEng.Stats.DynTotal() / 2
+			if pause == 0 {
+				t.Fatalf("%s executed too few instructions to pause", spec.Name)
+			}
+
+			eng := tol.NewEngine(tcfg, p)
+			sim := timing.NewSimulator(mcfg, timing.ModeShared)
+			sim.StopWhen = func() bool { return eng.Stats.DynTotal() >= pause }
+			if _, err := sim.RunContext(t.Context(), eng); err != timing.ErrPaused {
+				t.Fatalf("expected ErrPaused, got %v", err)
+			}
+			m, err := Capture(spec.Name, eng, sim)
+			if err != nil {
+				t.Fatalf("capture: %v", err)
+			}
+			blob, err := Encode(m)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			decoded, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			eng2, sim2, err := decoded.Restore(p)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			res, err := sim2.RunContext(t.Context(), eng2)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+
+			gotRes, _ := json.Marshal(res)
+			wantRes, _ := json.Marshal(refRes)
+			if !bytes.Equal(gotRes, wantRes) {
+				t.Fatalf("timing results differ:\nresumed:       %s\nuninterrupted: %s", gotRes, wantRes)
+			}
+			gotStats, _ := json.Marshal(&eng2.Stats)
+			wantStats, _ := json.Marshal(&refEng.Stats)
+			if !bytes.Equal(gotStats, wantStats) {
+				t.Fatalf("TOL stats differ:\nresumed:       %s\nuninterrupted: %s", gotStats, wantStats)
+			}
+			if d := eng2.GuestState().Diff(refEng.GuestState()); d != "" {
+				t.Fatalf("final guest state differs: %s", d)
+			}
+		})
 	}
 }
 

@@ -145,6 +145,9 @@ func (t *Translator) TranslateBB(entry uint32) (*Translation, error) {
 		bodyEnd = bb.term
 	}
 	for i := 0; i < bodyEnd; i++ {
+		if t.cfg.Fault == FaultDropInc && bb.insts[i].Op == guest.OpIncR {
+			continue // injected bug (mutation testing): lose the inc
+		}
 		e.emitGuestInst(&bb.insts[i], mat[i])
 	}
 

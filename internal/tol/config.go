@@ -60,7 +60,10 @@
 // microarchitectural resources.
 package tol
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Config controls the TOL policies.
 type Config struct {
@@ -114,6 +117,13 @@ type Config struct {
 	EnableSBM      bool // disable to stop at BBM
 	EnableChaining bool // disable to transition to TOL at every block end
 	EnableIBTC     bool // disable to make every indirect branch a TOL call
+
+	// Fault injects a named, deliberate translator bug (see Faults) for
+	// mutation-testing the differential fuzzing oracle: the injected
+	// miscompilation must be caught by co-simulation. It participates in
+	// the JSON form (and therefore in memo-cache keys), so faulted and
+	// clean runs never alias. Never set outside verification runs.
+	Fault string `json:",omitempty"`
 
 	// MaxGuestInsts aborts runaway guest executions (0 = no limit).
 	MaxGuestInsts uint64
@@ -174,6 +184,9 @@ func (c *Config) Validate() error {
 	}
 	if _, err := c.NewPromotionPolicy(); err != nil {
 		return err
+	}
+	if !validFault(c.Fault) {
+		return fmt.Errorf("tol: unknown fault %q (registered: %s)", c.Fault, strings.Join(Faults(), ", "))
 	}
 	if err := c.Cache.Validate(); err != nil {
 		return err

@@ -1,0 +1,180 @@
+package tol
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/guest"
+)
+
+// Co-simulation divergence reporting and the fault-injection surface
+// used to mutation-test it.
+//
+// When the engine runs with Cosim enabled, the authoritative guest
+// emulator executes in lockstep and architectural state is compared at
+// every interpreted instruction and at every translation exit. A
+// mismatch used to surface as a bare formatted error; it is now a
+// structured DivergenceError carrying everything a differential-fuzzing
+// report needs to be actionable: where in guest execution the check
+// fired, which translation (and pipeline configuration) produced the
+// state, and the full architectural delta — not just the first
+// differing field.
+
+// DivergenceError reports a co-simulation mismatch between the
+// co-design component and the authoritative guest emulator. It is the
+// error value of a failed cosim check (errors.As-compatible through the
+// controller's wrapping), and the payload the fuzzing minimizer files
+// regression reports from.
+type DivergenceError struct {
+	// PC is the guest program counter at which the states were
+	// compared: the instruction just executed in IM, or the guest
+	// target being resumed at a translation exit.
+	PC uint32 `json:"pc"`
+	// InstIndex is the number of dynamic guest instructions the
+	// co-design component had retired when the check fired — the
+	// position of the divergence in the run.
+	InstIndex uint64 `json:"inst_index"`
+	// In tells which execution context produced the diverging state:
+	// "IM" for an interpreted step, "BB" or "SB" for a translation
+	// exit.
+	In string `json:"in"`
+	// ExitReason, GuestEntry and HostPC locate a translated-code
+	// divergence: the exit kind, the guest entry of the active
+	// translation, and the host PC of the exit stub. All zero for IM
+	// divergences.
+	ExitReason string `json:"exit_reason,omitempty"`
+	GuestEntry uint32 `json:"guest_entry,omitempty"`
+	HostPC     uint32 `json:"host_pc,omitempty"`
+	// Pipeline is the resolved SBM pass pipeline of the run and Fault
+	// the active injected fault (mutation testing), so a minimized
+	// report pins the configuration that diverged.
+	Pipeline string `json:"pipeline,omitempty"`
+	Fault    string `json:"fault,omitempty"`
+	// Got is the co-design component's architectural state, Want the
+	// reference emulator's.
+	Got  guest.State `json:"got"`
+	Want guest.State `json:"want"`
+}
+
+// Delta lists every differing architectural field as "name: got vs
+// want" strings, in register-file order — the full delta, where
+// guest.State.Diff stops at the first difference.
+func (e *DivergenceError) Delta() []string {
+	var out []string
+	if e.Got.EIP != e.Want.EIP {
+		out = append(out, fmt.Sprintf("eip: %#x vs %#x", e.Got.EIP, e.Want.EIP))
+	}
+	for i := range e.Got.Regs {
+		if e.Got.Regs[i] != e.Want.Regs[i] {
+			out = append(out, fmt.Sprintf("%s: %#x vs %#x", guest.Reg(i), e.Got.Regs[i], e.Want.Regs[i]))
+		}
+	}
+	if e.Got.Flags&guest.FlagsMask != e.Want.Flags&guest.FlagsMask {
+		out = append(out, fmt.Sprintf("flags: %#x vs %#x",
+			e.Got.Flags&guest.FlagsMask, e.Want.Flags&guest.FlagsMask))
+	}
+	for i := range e.Got.FRegs {
+		a, b := e.Got.FRegs[i], e.Want.FRegs[i]
+		if a != b && !(a != a && b != b) { // NaN-safe, as State.Equal
+			out = append(out, fmt.Sprintf("f%d: %v vs %v", i, a, b))
+		}
+	}
+	return out
+}
+
+// Error renders the one-line report: location, context and the full
+// architectural delta.
+func (e *DivergenceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tol: cosim divergence in %s at guest pc %#x (inst %d", e.In, e.PC, e.InstIndex)
+	if e.In != "IM" {
+		fmt.Fprintf(&b, ", %s exit of %s %#x, host pc %#x", e.ExitReason, e.In, e.GuestEntry, e.HostPC)
+	}
+	b.WriteString(")")
+	if e.Pipeline != "" {
+		fmt.Fprintf(&b, " [pipeline %s]", e.Pipeline)
+	}
+	if e.Fault != "" {
+		fmt.Fprintf(&b, " [fault %s]", e.Fault)
+	}
+	delta := e.Delta()
+	if len(delta) == 0 {
+		delta = []string{"states compare equal (stale report)"}
+	}
+	fmt.Fprintf(&b, ": %s", strings.Join(delta, "; "))
+	return b.String()
+}
+
+// Report renders the multi-line human form used by minimized fuzzing
+// reports: the summary line followed by one line per differing field.
+func (e *DivergenceError) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cosim divergence in %s at guest pc %#x, instruction %d\n", e.In, e.PC, e.InstIndex)
+	if e.In != "IM" {
+		fmt.Fprintf(&b, "  translation: %s entry %#x, %s exit at host pc %#x\n",
+			e.In, e.GuestEntry, e.ExitReason, e.HostPC)
+	}
+	if e.Pipeline != "" {
+		fmt.Fprintf(&b, "  pipeline:    %s\n", e.Pipeline)
+	}
+	if e.Fault != "" {
+		fmt.Fprintf(&b, "  fault:       %s\n", e.Fault)
+	}
+	for _, d := range e.Delta() {
+		fmt.Fprintf(&b, "  %s (engine vs reference)\n", d)
+	}
+	return b.String()
+}
+
+// newDivergence assembles the structured error for one failed check.
+func (e *Engine) newDivergence(in string, pc uint32, got *guest.State) *DivergenceError {
+	pipeline, _ := e.Cfg.pipelineSpec()
+	return &DivergenceError{
+		PC:        pc,
+		InstIndex: e.Stats.DynTotal(),
+		In:        in,
+		Pipeline:  pipeline,
+		Fault:     e.Cfg.Fault,
+		Got:       *got,
+		Want:      e.shadow.State,
+	}
+}
+
+// ---- Fault injection (mutation testing) ----
+
+// The differential fuzzing oracle is only trustworthy if it actually
+// catches translator bugs. The Fault configuration field deliberately
+// miscompiles in one of a few registered, named ways, so tests can
+// assert end to end that an injected bug is (a) caught by co-simulation
+// and (b) minimized to a small reproducer. Faults are a verification
+// surface: never set one outside a test or a fuzzing mutation run.
+const (
+	// FaultDropInc makes the BBM translator silently skip emitting
+	// host code for guest inc instructions — a blunt lost-instruction
+	// bug that any cosim check downstream of a translated inc catches.
+	FaultDropInc = "bbm-drop-inc"
+
+	// FaultRLEStaleBase makes the rle pass skip its base-register
+	// invalidation: a load that overwrites a register used as the base
+	// of a cached slot no longer kills the entry, so a later load
+	// through the recomputed base is served the stale cached value — a
+	// subtle alias-discipline bug only certain access patterns expose.
+	FaultRLEStaleBase = "rle-stale-base"
+)
+
+// Faults lists the registered fault-injection names accepted by
+// Config.Fault.
+func Faults() []string { return []string{FaultDropInc, FaultRLEStaleBase} }
+
+// validFault reports whether name is empty or a registered fault.
+func validFault(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, f := range Faults() {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}

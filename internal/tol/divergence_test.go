@@ -1,0 +1,111 @@
+package tol
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+)
+
+func divergenceFixture() *DivergenceError {
+	var got, want guest.State
+	got.EIP, want.EIP = 0x1000, 0x1000
+	got.Regs[guest.ESI], want.Regs[guest.ESI] = 4, 5
+	got.Regs[guest.EAX], want.Regs[guest.EAX] = 0xff, 0x100
+	got.Flags, want.Flags = 0, guest.FlagZF
+	got.FRegs[2], want.FRegs[2] = 1.5, 2.5
+	return &DivergenceError{
+		PC:         0x1000,
+		InstIndex:  1234,
+		In:         "BB",
+		ExitReason: "taken",
+		GuestEntry: 0x0fe0,
+		HostPC:     0x9000_0040,
+		Pipeline:   "constprop,dce,rle,sched",
+		Fault:      FaultDropInc,
+		Got:        got,
+		Want:       want,
+	}
+}
+
+func TestDivergenceErrorFormatting(t *testing.T) {
+	e := divergenceFixture()
+
+	// Delta lists every differing field, not just the first one
+	// guest.State.Diff stops at.
+	delta := e.Delta()
+	if len(delta) != 4 {
+		t.Fatalf("Delta() = %q, want 4 entries (eax, esi, flags, f2)", delta)
+	}
+	joined := strings.Join(delta, "; ")
+	for _, want := range []string{"eax", "esi", "flags", "f2", "0x4 vs 0x5"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Delta() = %q, missing %q", joined, want)
+		}
+	}
+
+	// The one-line form keeps the historic "cosim divergence" substring
+	// and carries location, translation context, pipeline and fault.
+	msg := e.Error()
+	for _, want := range []string{
+		"cosim divergence", "BB", "0x1000", "inst 1234", "taken",
+		"0xfe0", "constprop,dce,rle,sched", FaultDropInc, "esi: 0x4 vs 0x5",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	if strings.ContainsRune(msg, '\n') {
+		t.Errorf("Error() is not one line: %q", msg)
+	}
+
+	// The multi-line report names every differing field on its own line.
+	rep := e.Report()
+	if lines := strings.Count(rep, "\n"); lines < 6 {
+		t.Errorf("Report() has %d lines, want >= 6:\n%s", lines, rep)
+	}
+	for _, want := range []string{"pipeline:", "fault:", "engine vs reference"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report() missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestDivergenceErrorIMForm(t *testing.T) {
+	e := divergenceFixture()
+	e.In = "IM"
+	msg := e.Error()
+	if strings.Contains(msg, "exit") || strings.Contains(msg, "host pc") {
+		t.Errorf("IM divergence mentions translation context: %q", msg)
+	}
+}
+
+func TestDivergenceErrorJSONRoundTrip(t *testing.T) {
+	e := divergenceFixture()
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DivergenceError
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Error() != e.Error() {
+		t.Fatalf("round trip changed the report:\n%s\n%s", back.Error(), e.Error())
+	}
+}
+
+func TestConfigRejectsUnknownFault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fault = "no-such-fault"
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "unknown fault") {
+		t.Fatalf("unknown fault accepted: %v", err)
+	}
+	for _, f := range Faults() {
+		cfg.Fault = f
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("registered fault %q rejected: %v", f, err)
+		}
+	}
+}

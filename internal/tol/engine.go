@@ -327,7 +327,9 @@ func (e *Engine) stepIM() {
 		}
 		e.Stats.CosimChecks++
 		if d := e.gs.Diff(&e.shadow.State); d != "" {
-			e.fail("tol: cosim divergence in IM at eip=%#x: %s", eip, d)
+			if e.err == nil {
+				e.err = e.newDivergence("IM", eip, &e.gs)
+			}
 			return
 		}
 	}
@@ -572,8 +574,13 @@ func (e *Engine) accountExitInfo(pc uint32, info *ExitInfo) bool {
 		got := e.stateFromCPU(target)
 		e.Stats.CosimChecks++
 		if d := got.Diff(&e.shadow.State); d != "" {
-			e.fail("tol: cosim divergence at %s exit of %s %#x (host pc %#x): %s",
-				info.Reason, e.curTrans.Kind, e.curTrans.GuestEntry, pc, d)
+			if e.err == nil {
+				div := e.newDivergence(e.curTrans.Kind.String(), target, &got)
+				div.ExitReason = info.Reason.String()
+				div.GuestEntry = e.curTrans.GuestEntry
+				div.HostPC = pc
+				e.err = div
+			}
 			return false
 		}
 	}

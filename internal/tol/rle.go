@@ -85,7 +85,9 @@ func redundantLoadEliminate(p *tracePlan) int {
 			}
 			// The load overwrites its destination; entries keyed on that
 			// base register no longer describe a valid address.
-			invalidateBase(in.R1)
+			if p.fault != FaultRLEStaleBase { // injected bug: skip the kill
+				invalidateBase(in.R1)
+			}
 
 		case in.Op == guest.OpStore:
 			key := slotKey{in.RB, in.Imm}

@@ -64,11 +64,12 @@ type tracePlan struct {
 	endTarget uint32 // for endJump
 	blocks    int
 	code      *emitter // set once host code is sealed
+	fault     string   // active Config.Fault, consulted by faultable passes
 }
 
 // buildTrace forms the superblock trace starting at seed.
 func (t *Translator) buildTrace(seed uint32) (*tracePlan, error) {
-	plan := &tracePlan{seed: seed}
+	plan := &tracePlan{seed: seed, fault: t.cfg.Fault}
 	visited := map[uint32]bool{}
 	cur := seed
 	for {

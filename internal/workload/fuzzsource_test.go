@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/x86emu"
+)
+
+func TestGenSpecDeterministicAndValid(t *testing.T) {
+	for _, profile := range FuzzProfiles() {
+		for seed := int64(0); seed < 50; seed++ {
+			a, err := GenSpec(seed, profile)
+			if err != nil {
+				t.Fatalf("GenSpec(%d, %s): %v", seed, profile, err)
+			}
+			b, err := GenSpec(seed, profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("GenSpec(%d, %s) not deterministic:\n%+v\n%+v", seed, profile, a, b)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("GenSpec(%d, %s) invalid: %v", seed, profile, err)
+			}
+			if got := a.EstDynInsts(); got > fuzzMaxDyn {
+				t.Fatalf("GenSpec(%d, %s): estimated %d dynamic insts exceeds the %d budget",
+					seed, profile, got, fuzzMaxDyn)
+			}
+		}
+	}
+}
+
+func TestGenSpecProfilesDiffer(t *testing.T) {
+	a, _ := GenSpec(7, "hot")
+	b, _ := GenSpec(7, "indirect")
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("profiles share a generator stream: hot and indirect gave the same spec")
+	}
+}
+
+func TestGenSpecUnknownProfile(t *testing.T) {
+	if _, err := GenSpec(1, "nope"); err == nil || !strings.Contains(err.Error(), "unknown fuzz profile") {
+		t.Fatalf("unknown profile not rejected: %v", err)
+	}
+}
+
+func TestFuzzGeneratedSpecsRun(t *testing.T) {
+	// A sample of generated specs per profile must assemble and run to
+	// completion on the reference emulator — "valid" means executable,
+	// not just Validate-clean.
+	for _, profile := range FuzzProfiles() {
+		for seed := int64(0); seed < 4; seed++ {
+			s, err := GenSpec(seed, profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := s.Build()
+			if err != nil {
+				t.Fatalf("%s: build: %v", s.Name, err)
+			}
+			e := x86emu.New(p)
+			if err := e.Run(50_000_000); err != nil {
+				t.Fatalf("%s: %v", s.Name, err)
+			}
+			if e.DynInsts == 0 {
+				t.Fatalf("%s: no instructions executed", s.Name)
+			}
+		}
+	}
+}
+
+func TestFuzzSourceOpen(t *testing.T) {
+	p, err := Open("fuzz:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "fuzz-mixed-42" {
+		t.Fatalf("default profile name: %s", p.Name())
+	}
+	if p.Meta().Source != "fuzz" {
+		t.Fatalf("meta source: %+v", p.Meta())
+	}
+	p2, err := Open("fuzz:42/indirect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Name() != "fuzz-indirect-42" {
+		t.Fatalf("profiled name: %s", p2.Name())
+	}
+	if _, err := Open("fuzz:notanumber"); err == nil {
+		t.Fatal("non-integer seed accepted")
+	}
+	if _, err := Open("fuzz:1/nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	// The source must be registered and thus listed.
+	found := false
+	for _, s := range Sources() {
+		if s == "fuzz" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fuzz not in Sources(): %v", Sources())
+	}
+}
+
+func TestShrinkCandidatesValidAndSmaller(t *testing.T) {
+	s, err := GenSpec(3, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := s.Shrink()
+	if len(cands) == 0 {
+		t.Fatal("freshly generated spec yields no shrink candidates")
+	}
+	for _, c := range cands {
+		if err := c.Validate(); err != nil {
+			t.Errorf("shrink candidate invalid: %v\n%+v", err, c)
+		}
+		if reflect.DeepEqual(c, s) {
+			t.Errorf("shrink candidate equals the original")
+		}
+	}
+}
+
+func TestShrinkConverges(t *testing.T) {
+	// Repeatedly taking the first candidate must reach a fixpoint in
+	// bounded steps: every candidate strictly simplifies something, so
+	// greedy minimization cannot loop forever.
+	s, err := GenSpec(11, "indirect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if i > 500 {
+			t.Fatal("shrink did not converge in 500 steps")
+		}
+		cands := s.Shrink()
+		if len(cands) == 0 {
+			break
+		}
+		s = cands[0]
+	}
+	if s.Blocks() > 2 {
+		t.Fatalf("fully shrunk spec still has %d blocks: %+v", s.Blocks(), s)
+	}
+}
+
+func TestEncodeDecodeSpecRoundTrip(t *testing.T) {
+	s, err := GenSpec(5, "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(EncodeSpec(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip changed the spec:\n%+v\n%+v", s, got)
+	}
+	if _, err := DecodeSpec([]byte(`[{"Name":"a"}]`)); err == nil {
+		t.Fatal("array accepted by DecodeSpec")
+	}
+	if _, err := DecodeSpec([]byte(`{"Name":"a","NoSuchField":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestClampBoundsDynamicSize(t *testing.T) {
+	s := Spec{
+		Name: "big", HotKernels: 4, KernelLen: 40, KernelIter: 10_000,
+		OuterIters: 100, Footprint: 1 << 12, Stride: 4,
+	}
+	c := s.Clamp(100_000)
+	if got := c.EstDynInsts(); got > 100_000 {
+		t.Fatalf("clamped spec still estimates %d insts", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clamped spec invalid: %v", err)
+	}
+	small := s
+	small.OuterIters, small.KernelIter = 1, 10
+	if got := small.Clamp(1 << 30); !reflect.DeepEqual(got, small) {
+		t.Fatal("under-budget spec was modified by Clamp")
+	}
+}
+
+func TestValidateRejectsFuzzFoundShapes(t *testing.T) {
+	// The gaps the fuzzing work closed: all were accepted before and
+	// failed (or silently misbehaved) only inside Build or emitBody.
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"fraction sum over 1", Spec{Name: "x", OuterIters: 1, FPFrac: 0.5, MemFrac: 0.4, BranchFrac: 0.2}, "FPFrac+MemFrac+BranchFrac"},
+		{"zero outer iters", Spec{Name: "x"}, "OuterIters"},
+		{"zero kernel iters", Spec{Name: "x", OuterIters: 1, HotKernels: 1, KernelLen: 4}, "KernelIter"},
+		{"fanout without dispatch", Spec{Name: "x", OuterIters: 1, Fanout: 4}, "DispatchIters 0"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	// Exact boundary: fractions summing to exactly 1 are a valid
+	// all-special-ops body.
+	ok := Spec{Name: "x", OuterIters: 1, FPFrac: 0.5, MemFrac: 0.25, BranchFrac: 0.25}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("fraction sum of exactly 1 rejected: %v", err)
+	}
+}

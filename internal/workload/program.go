@@ -126,6 +126,7 @@ func init() {
 	Register(fileSource{})
 	Register(traceSource{})
 	Register(phasedSource{})
+	Register(fuzzSource{})
 }
 
 // Sources returns the registered scheme names, sorted.

@@ -197,7 +197,44 @@ func (s *Spec) Validate() error {
 	if s.Stride != 0 && s.Stride&(s.Stride-1) != 0 {
 		return fmt.Errorf("workload %s: stride %d not a power of two", s.Name, s.Stride)
 	}
+	// The three fractions partition the kernel body; a sum over 1 would
+	// silently skew emitBody's distribution (branches eat the memory
+	// share first, then FP). Exactly 1 is a valid all-special-ops body.
+	if sum := s.FPFrac + s.MemFrac + s.BranchFrac; sum > 1 {
+		return fmt.Errorf("workload %s: FPFrac+MemFrac+BranchFrac = %g > 1", s.Name, sum)
+	}
+	// The outer loop and kernel loops are do-while shaped: a zero count
+	// still executes the body once, which is never what a spec author
+	// meant and (for the outer loop) breaks Scale's proportionality.
+	if s.OuterIters == 0 {
+		return fmt.Errorf("workload %s: OuterIters must be >= 1 (the outer loop is do-while shaped)", s.Name)
+	}
+	if s.HotKernels > 0 && s.KernelIter == 0 {
+		return fmt.Errorf("workload %s: KernelIter must be >= 1 when HotKernels > 0 (kernel loops are do-while shaped)", s.Name)
+	}
+	// A fanout without dispatcher iterations emits the jump table but
+	// never the case blocks it points at, failing only deep in Build
+	// ("case label missing"); reject it up front.
+	if s.Fanout > 0 && s.DispatchIters == 0 {
+		return fmt.Errorf("workload %s: Fanout %d with DispatchIters 0 (jump-table cases would never be emitted)", s.Name, s.Fanout)
+	}
+	// The warm-region counter lives at Footprint+64 in the data region;
+	// it and the working set must stay clear of the jump-table page.
+	// MaxFootprint implies this today, but the explicit check keeps a
+	// future MaxFootprint bump from silently letting data accesses
+	// corrupt the dispatcher tables.
+	if s.Footprint+64+4 > int(mem.GuestTableBase-mem.GuestDataBase) {
+		return fmt.Errorf("workload %s: footprint %d (plus warm counter) reaches the jump-table region", s.Name, s.Footprint)
+	}
 	return nil
+}
+
+// Blocks is the minimizer's size metric for a spec: the number of
+// distinct generated code regions (cold blocks, warm blocks, hot
+// kernels and dispatcher cases). The fuzzing acceptance bar — a
+// minimized reproducer with Blocks() <= 8 — is expressed in this unit.
+func (s *Spec) Blocks() int {
+	return s.ColdBlocks + s.WarmBlocks + s.HotKernels + s.Fanout
 }
 
 func log2i(v int32) int32 {

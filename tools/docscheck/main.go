@@ -18,7 +18,8 @@
 // References are recognized inside backticks as <pkg>.<Exported> with
 // an optional .<Member> tail, where <pkg> is one of the repository's
 // package names (guest, x86emu, host, mem, tol, timing, darco,
-// workload, experiments, stats, store, serve, snapshot, sample).
+// workload, experiments, stats, store, serve, snapshot, sample,
+// fuzz).
 // Member references are checked
 // against the type's method and struct-field sets; anything deeper is
 // accepted once the first two levels resolve.
@@ -53,6 +54,7 @@ var packages = map[string]string{
 	"serve":       "internal/serve",
 	"snapshot":    "internal/snapshot",
 	"sample":      "internal/sample",
+	"fuzz":        "internal/fuzz",
 }
 
 // pkgIndex holds one package's exported surface.
