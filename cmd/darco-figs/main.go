@@ -16,6 +16,9 @@
 //	darco-figs -from a.json,b.json  # reuse darco-suite -json results
 //	darco-figs -fig 6 -workload trace:run.trace.json  # replayed workloads
 //	darco-figs -server http://host:8080 -timeout 1h   # run on darco-serve
+//	darco-figs -grid examples/grids/promotion-streambatch.json -csv
+//	darco-figs -grid spec.json -store results/        # resumable sweep
+//	darco-figs -grid spec.json -shard 0/4             # one shard of the cells
 //
 // -benchmarks and -workload both take workload Source-registry
 // references ("<source>:<name>"; bare names mean the synthetic
@@ -27,6 +30,15 @@
 // emitted by cmd/darco or cmd/darco-suite -json, so figures can be
 // reassembled without re-simulating the preloaded (benchmark, mode)
 // pairs. -json emits the tables themselves as JSON.
+//
+// -grid replaces the built-in figures with a declarative
+// characterization grid (internal/sweep): a JSON spec naming workloads
+// and knob axes; every cell simulates through the same session and the
+// report lands on stdout as a table, CSV (-csv) or JSON (-json).
+// -store attaches a content-addressed result store — completed cells
+// persist, so an interrupted sweep resumes where it stopped — and
+// -shard i/n runs one deterministic 1/n slice of the cells, so a grid
+// can be split across machines sharing a store.
 package main
 
 import (
@@ -42,6 +54,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/serve"
 	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -67,6 +81,9 @@ func main() {
 	from := flag.String("from", "", "comma-separated JSON record files (darco/darco-suite -json output) to reuse instead of simulating")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the whole regeneration (0 = none)")
 	server := flag.String("server", "", "run on a darco-serve instance at this base URL instead of simulating locally")
+	gridSpec := flag.String("grid", "", "run a declarative characterization grid from this JSON spec (see examples/grids) instead of the built-in figures")
+	storeDir := flag.String("store", "", "content-addressed result store directory; completed work persists there and re-runs resume from it")
+	shard := flag.String("shard", "", "with -grid, run only this deterministic slice of the cells, as i/n (e.g. 0/4)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -110,6 +127,25 @@ func main() {
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "darco-figs:", err)
+			os.Exit(2)
+		}
+		opts.SessionOptions = append(opts.SessionOptions, darco.WithStore(st))
+	}
+	if *gridSpec != "" {
+		if err := runGrid(ctx, *gridSpec, *shard, &opts, *csv, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "darco-figs:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shard != "" {
+		fmt.Fprintln(os.Stderr, "darco-figs: -shard only applies to -grid sweeps")
+		os.Exit(2)
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
@@ -252,6 +288,51 @@ func main() {
 			die(err)
 		}
 	}
+}
+
+// runGrid executes one declarative sweep spec on the flag-built base
+// configuration and session (store, remote, worker count) and emits
+// its report in the format the figure path would use. Per-cell
+// failures are recorded in the report and returned after it prints, so
+// a partially failed sweep still shows everything that ran.
+func runGrid(ctx context.Context, path, shard string, opts *experiments.Options, csv, jsonOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	g, err := sweep.DecodeGrid(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if g.Scale == 0 {
+		g.Scale = opts.Scale
+	}
+	sopts := sweep.Options{
+		Config:  &opts.Config,
+		Jobs:    opts.Jobs,
+		Session: opts.SessionOptions,
+		Log:     opts.Log,
+	}
+	if shard != "" {
+		if _, err := fmt.Sscanf(shard, "%d/%d", &sopts.Shard, &sopts.Shards); err != nil {
+			return fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4): %v", shard, err)
+		}
+	}
+	rs, runErr := sweep.Run(ctx, g, sopts)
+	if rs != nil {
+		switch {
+		case jsonOut:
+			if err := rs.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		case csv:
+			fmt.Print(rs.CSV())
+		default:
+			fmt.Print(rs.Table().String())
+		}
+	}
+	return runErr
 }
 
 // loadRecords reads one []darco.Record file produced by cmd/darco or

@@ -24,6 +24,7 @@
 //	darco-serve -server http://host:8080 -submit trace:run.trace.json -scale 0.5 -tenant ci
 //	darco-serve -server http://host:8080 -health
 //	darco-serve -server http://host:8080 -jobs-list
+//	darco-serve -server http://host:8080 -cancel j-000001
 //
 // -submit enqueues one job, relays its event stream to stderr, and
 // prints the terminal darco.Record JSON — the same interchange format
@@ -63,15 +64,16 @@ func main() {
 	tenant := flag.String("tenant", "", "client mode: fair-queuing tenant of the submission")
 	modeFlag := flag.String("mode", "", "client mode: timing mode override (shared, app-only, tol-only, split)")
 	health := flag.Bool("health", false, "client mode: print server health and exit")
+	cancelID := flag.String("cancel", "", "client mode: cancel this queued or running job and exit")
 	jobsList := flag.Bool("jobs-list", false, "client mode: list server jobs and exit")
 	storeList := flag.Bool("store-list", false, "client mode: list the server's persistent store and exit")
 	timeout := flag.Duration("timeout", 0, "client mode: overall deadline (0 = none)")
 	flag.Parse()
 
 	if *server != "" {
-		os.Exit(clientMain(*server, *submit, *scale, *tenant, *modeFlag, *health, *jobsList, *storeList, *timeout))
+		os.Exit(clientMain(*server, *submit, *cancelID, *scale, *tenant, *modeFlag, *health, *jobsList, *storeList, *timeout))
 	}
-	if *submit != "" || *health || *jobsList || *storeList {
+	if *submit != "" || *cancelID != "" || *health || *jobsList || *storeList {
 		fmt.Fprintln(os.Stderr, "darco-serve: client flags need -server <url>")
 		os.Exit(2)
 	}
@@ -133,7 +135,7 @@ func serverMain(listen, storeDir string, storeMax int64, workers, queue int, dra
 	return code
 }
 
-func clientMain(base, submit string, scale float64, tenant, mode string, health, jobsList, storeList bool, timeout time.Duration) int {
+func clientMain(base, submit, cancelID string, scale float64, tenant, mode string, health, jobsList, storeList bool, timeout time.Duration) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if timeout > 0 {
@@ -175,8 +177,15 @@ func clientMain(base, submit string, scale float64, tenant, mode string, health,
 			return 1
 		}
 		return dump(entries)
+	case cancelID != "":
+		st, err := c.Cancel(ctx, cancelID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "darco-serve:", err)
+			return 1
+		}
+		return dump(st)
 	case submit == "":
-		fmt.Fprintln(os.Stderr, "darco-serve: client mode needs -submit <ref> (or -health / -jobs-list / -store-list)")
+		fmt.Fprintln(os.Stderr, "darco-serve: client mode needs -submit <ref> (or -cancel / -health / -jobs-list / -store-list)")
 		return 2
 	}
 

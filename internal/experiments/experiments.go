@@ -10,16 +10,26 @@
 // assembles its table sequentially in catalog order from the memoized
 // results. The engine is deterministic and runs are independent, so
 // the regenerated tables are identical for any worker count.
+//
+// The sweeping figures (Fig5, FigCC, FigPhase, FigSample) are thin
+// specs over the internal/sweep characterization-grid engine: each
+// declares its workloads × axes as a sweep.Grid, executes it through
+// the shared session, and assembles its bespoke table from the grid's
+// long-form result set. Every job — accessor or grid cell — is built
+// by the one cell→Job mapper (sweep.JobFor), so identical runs share
+// one memo key across figures, preloads, and persistent stores.
 package experiments
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 
 	"repro/internal/darco"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/timing"
 	"repro/internal/tol"
 	"repro/internal/workload"
@@ -161,16 +171,15 @@ func (r *Runner) program(name string) (workload.Program, error) {
 	return nil, fmt.Errorf("experiments: benchmark %q not in session", name)
 }
 
-// job builds the session job for one program × mode. The originating
-// workload reference is kept on the job, so a remote session
-// (Options.SessionOptions with darco.WithRemote) can re-open the same
-// program server-side.
-func (r *Runner) job(p workload.Program, mode timing.Mode) darco.Job {
-	cfg := r.opts.Config
-	cfg.Mode = mode
-	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
-	j.Ref = r.refs[p.Name()]
-	return j
+// job builds the session job for one program × mode through the grid
+// engine's cell→Job mapper, so the per-benchmark accessors and the
+// grid figures resolve identical configurations (and therefore share
+// one memo key per run). The originating workload reference is kept on
+// the job, so a remote session (Options.SessionOptions with
+// darco.WithRemote) can re-open the same program server-side.
+func (r *Runner) job(p workload.Program, mode timing.Mode) (darco.Job, error) {
+	return sweep.JobFor(p, r.refs[p.Name()], r.opts.Scale, r.opts.Config,
+		&sweep.Knobs{Mode: mode.String()})
 }
 
 // run executes (or recalls) one benchmark under a mode.
@@ -179,7 +188,11 @@ func (r *Runner) run(name string, mode timing.Mode) (*darco.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.sess.Run(r.ctx(), r.job(p, mode))
+	j, err := r.job(p, mode)
+	if err != nil {
+		return nil, err
+	}
+	return r.sess.Run(r.ctx(), j)
 }
 
 // warm submits every session benchmark under each mode as one
@@ -189,7 +202,11 @@ func (r *Runner) warm(modes ...timing.Mode) error {
 	var jobs []darco.Job
 	for _, p := range r.progs {
 		for _, m := range modes {
-			jobs = append(jobs, r.job(p, m))
+			j, err := r.job(p, m)
+			if err != nil {
+				return err
+			}
+			jobs = append(jobs, j)
 		}
 	}
 	for _, br := range r.sess.RunBatch(r.ctx(), jobs) {
@@ -198,6 +215,24 @@ func (r *Runner) warm(modes ...timing.Mode) error {
 		}
 	}
 	return nil
+}
+
+// workloadRefs returns the Source-registry references of the session
+// programs, in catalog order — the workload list of a figure grid.
+func (r *Runner) workloadRefs() []string {
+	refs := make([]string, len(r.progs))
+	for i, p := range r.progs {
+		refs[i] = r.refs[p.Name()]
+	}
+	return refs
+}
+
+// runGrid executes a figure's grid spec on the runner's shared session
+// under the runner's base configuration, so grid cells and the
+// per-benchmark accessors memoize into one another.
+func (r *Runner) runGrid(g *sweep.Grid) (*sweep.ResultSet, error) {
+	base := r.opts.Config
+	return sweep.RunOn(r.ctx(), r.sess, g, sweep.Options{Config: &base})
 }
 
 // Shared returns (running if needed) the shared-mode result.
@@ -219,7 +254,11 @@ func (r *Runner) Interaction(name string) (*darco.InteractionResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.sess.RunInteraction(r.ctx(), r.job(p, timing.ModeShared))
+	j, err := r.job(p, timing.ModeShared)
+	if err != nil {
+		return nil, err
+	}
+	return r.sess.RunInteraction(r.ctx(), j)
 }
 
 // suiteOrder lists the paper's suites in order; programs whose Meta
@@ -245,9 +284,18 @@ func (r *Runner) forEach(fn func(p workload.Program) error) error {
 }
 
 // Fig5 regenerates Figure 5: the static (a) and dynamic (b)
-// distribution of guest code across IM, BBM and SBM.
+// distribution of guest code across IM, BBM and SBM. The underlying
+// sweep is the degenerate grid — every workload once, shared mode, no
+// axes; the bespoke IM/BBM/SBM percentage table is assembled from the
+// grid's result set.
 func (r *Runner) Fig5() (*stats.Table, *stats.Table, error) {
-	if err := r.warm(timing.ModeShared); err != nil {
+	rs, err := r.runGrid(&sweep.Grid{
+		Name:      "fig5",
+		Workloads: r.workloadRefs(),
+		Scale:     r.opts.Scale,
+		Base:      &sweep.Knobs{Mode: timing.ModeShared.String()},
+	})
+	if err != nil {
 		return nil, nil, err
 	}
 	ta := stats.NewTable("Figure 5a: static guest code distribution (%)",
@@ -259,11 +307,12 @@ func (r *Runner) Fig5() (*stats.Table, *stats.Table, error) {
 		n                                int
 	}
 	suiteAcc := map[string]*acc{}
-	err := r.forEach(func(p workload.Program) error {
-		res, err := r.Shared(p.Name())
-		if err != nil {
-			return err
+	err = r.forEach(func(p workload.Program) error {
+		row := rs.Lookup(p.Name())
+		if row == nil || row.Result == nil {
+			return fmt.Errorf("experiments: no grid result for %s", p.Name())
 		}
+		res := row.Result
 		suite := p.Meta().Suite
 		im, bbm, sbm := res.TOL.StaticCounts()
 		st := float64(im + bbm + sbm)
@@ -472,18 +521,44 @@ func (r *Runner) Fig7b() (*stats.Table, error) {
 // longer fit, so every policy is exercised under real pressure.
 var DefaultCCCapacities = []int{0, 4096, 2048, 1024, 512, 256}
 
-// ccJob builds the session job for one cache-pressure sweep point.
-// Bounded points opt out of preloading: preloaded Records are matched
-// by (benchmark, mode) only and were produced under the unbounded
-// baseline configuration.
-func (r *Runner) ccJob(p workload.Program, capacity int, policy string) darco.Job {
-	cfg := r.opts.Config
-	cfg.Mode = timing.ModeShared
-	cfg.TOL.Cache = tol.CacheConfig{CapacityInsts: capacity, Policy: policy}
-	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
-	j.Ref = r.refs[p.Name()]
-	j.NoPreload = j.NoPreload || capacity > 0
-	return j
+// ccGrid builds the cache-pressure sweep as a grid spec: a policy
+// axis (the unbounded baseline plus every registered eviction policy)
+// crossed with a cc-size axis ("inf" plus the bounded capacities in
+// descending order), with the meaningless combinations — unbounded ×
+// bounded size, real policy × inf — skipped, and the baseline cell
+// declared for derived metrics. Bounded cells opt out of preloading
+// automatically: their configuration deviates from the runner base.
+func (r *Runner) ccGrid(caps []int, policies []string) *sweep.Grid {
+	zero := 0
+	polVals := []sweep.Value{{Name: "unbounded"}}
+	for _, pol := range policies {
+		polVals = append(polVals, sweep.Value{Name: pol, Knobs: sweep.Knobs{CCPolicy: pol}})
+	}
+	sizeVals := []sweep.Value{{Name: "inf", Knobs: sweep.Knobs{CCSize: &zero}}}
+	var capNames []string
+	for i := range caps {
+		c := caps[i]
+		sizeVals = append(sizeVals, sweep.Value{Name: fmt.Sprint(c), Knobs: sweep.Knobs{CCSize: &c}})
+		capNames = append(capNames, fmt.Sprint(c))
+	}
+	g := &sweep.Grid{
+		Name:      "fig-cc",
+		Workloads: r.workloadRefs(),
+		Scale:     r.opts.Scale,
+		Base:      &sweep.Knobs{Mode: timing.ModeShared.String()},
+		Axes: []sweep.Axis{
+			{Name: "policy", Values: polVals},
+			{Name: "cc-size", Values: sizeVals},
+		},
+		Baseline: map[string]string{"policy": "unbounded", "cc-size": "inf"},
+	}
+	if len(capNames) > 0 {
+		g.Skip = append(g.Skip, sweep.Constraint{"policy": {"unbounded"}, "cc-size": capNames})
+	}
+	if len(policies) > 0 {
+		g.Skip = append(g.Skip, sweep.Constraint{"policy": policies, "cc-size": {"inf"}})
+	}
+	return g
 }
 
 // FigCC runs the cache-pressure characterization enabled by the
@@ -500,7 +575,7 @@ func (r *Runner) FigCC(capacities []int) (*stats.Table, error) {
 	}
 	// The unbounded baseline (capacity 0) always runs — the slowdown
 	// column needs its reference point; bounded capacities are swept in
-	// descending order.
+	// descending order, deduplicated (they name axis values).
 	var caps []int
 	for _, c := range capacities {
 		if c > 0 {
@@ -508,39 +583,19 @@ func (r *Runner) FigCC(capacities []int) (*stats.Table, error) {
 		}
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(caps)))
+	caps = slices.Compact(caps)
 	policies := tol.RegisteredEvictionPolicies()
 
-	// Warm the whole sweep as one concurrent batch.
-	type point struct {
-		bench    string
-		policy   string
-		capacity int
-	}
-	var jobs []darco.Job
-	var points []point
-	for _, p := range r.progs {
-		jobs = append(jobs, r.ccJob(p, 0, ""))
-		points = append(points, point{p.Name(), "", 0})
-		for _, pol := range policies {
-			for _, c := range caps {
-				jobs = append(jobs, r.ccJob(p, c, pol))
-				points = append(points, point{p.Name(), pol, c})
-			}
-		}
-	}
-	results := make(map[point]*darco.Result, len(jobs))
-	for i, br := range r.sess.RunBatch(r.ctx(), jobs) {
-		if br.Err != nil {
-			return nil, br.Err
-		}
-		results[points[i]] = br.Result
+	rs, err := r.runGrid(r.ccGrid(caps, policies))
+	if err != nil {
+		return nil, err
 	}
 
 	t := stats.NewTable("Figure CC: code cache pressure sweep (cycles and retranslation rate vs. capacity)",
 		"benchmark", "policy", "cc-size", "cycles", "slowdown",
 		"evictions", "flushes", "retrans", "retrans/Kdyn", "cc-peak", "tol%")
 	for _, p := range r.progs {
-		base := results[point{p.Name(), "", 0}]
+		base := rs.Lookup(p.Name(), "unbounded", "inf").Result
 		addRow := func(policy, size string, res *darco.Result) {
 			slow := 1.0
 			if base.Timing.Cycles > 0 {
@@ -570,7 +625,7 @@ func (r *Runner) FigCC(capacities []int) (*stats.Table, error) {
 		addRow("unbounded", "inf", base)
 		for _, pol := range policies {
 			for _, c := range caps {
-				addRow(pol, fmt.Sprint(c), results[point{p.Name(), pol, c}])
+				addRow(pol, fmt.Sprint(c), rs.Lookup(p.Name(), pol, fmt.Sprint(c)).Result)
 			}
 		}
 	}

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/darco"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/timing"
 	"repro/internal/tol"
 	"repro/internal/workload"
@@ -61,20 +63,28 @@ func (r *Runner) phasePool() []string {
 	return pool
 }
 
-// phaseJob builds the session job for one sweep point. Every point
-// opts out of preloading: phased composites are not the runs suite
-// records describe.
-func (r *Runner) phaseJob(p workload.Program, capacity int, policy string) darco.Job {
-	cfg := r.opts.Config
-	cfg.Mode = timing.ModeShared
-	cfg.TOL.Cache = tol.CacheConfig{CapacityInsts: capacity, Policy: policy}
-	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
-	// FigPhase composites carry the canonical "a+b" member join as their
-	// name, which is exactly the phased: reference that re-opens them, so
-	// the sweep stays runnable on a remote session.
-	j.Ref = "phased:" + p.Name()
-	j.NoPreload = true
-	return j
+// phaseGrid builds the phase sweep as a grid spec: the 1..maxPhases
+// composites as phased: workload references (the canonical "a+b"
+// member join is exactly the reference that re-opens each composite,
+// locally or on a remote session) against a single policy axis — the
+// unbounded baseline plus every registered eviction policy at the
+// bounded capacity. Phased programs opt out of preloading by
+// construction (suite records never describe composites).
+func phaseGrid(workloads []string, policies []string, capacityInsts int, scale float64) *sweep.Grid {
+	zero := 0
+	vals := []sweep.Value{{Name: "unbounded", Knobs: sweep.Knobs{CCSize: &zero}}}
+	for _, pol := range policies {
+		vals = append(vals, sweep.Value{Name: pol,
+			Knobs: sweep.Knobs{CCSize: &capacityInsts, CCPolicy: pol}})
+	}
+	return &sweep.Grid{
+		Name:      "fig-phase",
+		Workloads: workloads,
+		Scale:     scale,
+		Base:      &sweep.Knobs{Mode: timing.ModeShared.String()},
+		Axes:      []sweep.Axis{{Name: "policy", Values: vals}},
+		Baseline:  map[string]string{"policy": "unbounded"},
+	}
 }
 
 // FigPhase runs the phase-behaviour characterization: composites of
@@ -96,56 +106,32 @@ func (r *Runner) FigPhase(maxPhases, capacityInsts int) (*stats.Table, error) {
 	}
 	pool := r.phasePool()
 
-	// Build the 1..maxPhases composites, cycling the pool. Members are
-	// scaled here; the runner's session programs are not reused because
-	// a composite is one program, not a batch of its members.
-	progs := make([]workload.Program, 0, maxPhases)
+	// The 1..maxPhases composites, cycling the pool. The grid engine
+	// re-opens each reference and scales the members; the runner's
+	// session programs are not reused because a composite is one
+	// program, not a batch of its members.
+	workloads := make([]string, 0, maxPhases)
 	for n := 1; n <= maxPhases; n++ {
-		var members []workload.Spec
+		names := make([]string, n)
 		for i := 0; i < n; i++ {
-			spec, err := workload.ByName(pool[i%len(pool)])
-			if err != nil {
-				return nil, fmt.Errorf("experiments: phase member: %w", err)
-			}
-			members = append(members, spec.Scale(r.opts.Scale))
+			names[i] = pool[i%len(pool)]
 		}
-		p, err := workload.Phased("", members...)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
-		}
-		progs = append(progs, p)
+		workloads = append(workloads, "phased:"+strings.Join(names, "+"))
 	}
 	policies := tol.RegisteredEvictionPolicies()
 
-	// Warm the whole sweep as one concurrent batch.
-	type point struct {
-		phases int
-		policy string
-	}
-	var jobs []darco.Job
-	var points []point
-	for n, p := range progs {
-		jobs = append(jobs, r.phaseJob(p, 0, ""))
-		points = append(points, point{n + 1, ""})
-		for _, pol := range policies {
-			jobs = append(jobs, r.phaseJob(p, capacityInsts, pol))
-			points = append(points, point{n + 1, pol})
-		}
-	}
-	results := make(map[point]*darco.Result, len(jobs))
-	for i, br := range r.sess.RunBatch(r.ctx(), jobs) {
-		if br.Err != nil {
-			return nil, br.Err
-		}
-		results[points[i]] = br.Result
+	rs, err := r.runGrid(phaseGrid(workloads, policies, capacityInsts, r.opts.Scale))
+	if err != nil {
+		return nil, err
 	}
 
 	t := stats.NewTable(
 		fmt.Sprintf("Figure PHASE: eviction and retranslation vs. phase count (cc-size %d)", capacityInsts),
 		"phases", "workload", "policy", "cycles", "slowdown",
 		"evictions", "flushes", "retrans", "retrans/Kdyn", "cc-peak", "tol%")
-	for n, p := range progs {
-		base := results[point{n + 1, ""}]
+	for n, ref := range workloads {
+		baseRow := rs.Lookup(ref, "unbounded")
+		base := baseRow.Result
 		addRow := func(policy string, res *darco.Result) {
 			slow := 1.0
 			if base.Timing.Cycles > 0 {
@@ -160,7 +146,7 @@ func (r *Runner) FigPhase(maxPhases, capacityInsts int) (*stats.Table, error) {
 			if peak == 0 {
 				peak = res.CodeCacheInsts
 			}
-			t.AddRow(fmt.Sprint(n+1), p.Name(), policy,
+			t.AddRow(fmt.Sprint(n+1), baseRow.Name, policy,
 				fmt.Sprint(res.Timing.Cycles),
 				fmt.Sprintf("%.3f", slow),
 				fmt.Sprint(res.TOL.Evictions),
@@ -172,7 +158,7 @@ func (r *Runner) FigPhase(maxPhases, capacityInsts int) (*stats.Table, error) {
 		}
 		addRow("unbounded", base)
 		for _, pol := range policies {
-			addRow(pol, results[point{n + 1, pol}])
+			addRow(pol, rs.Lookup(ref, pol).Result)
 		}
 	}
 	return t, nil

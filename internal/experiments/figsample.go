@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"time"
 
-	"repro/internal/darco"
 	"repro/internal/sample"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/timing"
 	"repro/internal/workload"
 )
@@ -26,27 +25,32 @@ import (
 // of one sixteenth of the interval.
 var DefaultSamplePlan = sample.Config{Interval: 50_000, Every: 8, Warmup: 3_000}
 
-// sampleJob builds one FigSample leg: the shared-mode job, sampled
-// when plan is non-nil. Preloading is disabled on both legs — records
-// carry no wall-clock, and the figure's point is the timing.
-func (r *Runner) sampleJob(p workload.Program, plan *sample.Config) darco.Job {
-	cfg := r.opts.Config
-	cfg.Mode = timing.ModeShared
-	cfg.Sampling = nil
-	j := darco.JobForProgram(p, r.opts.Scale, darco.WithConfig(cfg))
-	if plan != nil {
-		j.Opts = append(j.Opts, darco.WithSampling(*plan))
+// sampleGrid builds the comparison as a grid spec: every benchmark
+// against a two-point "sim" axis — full detail versus the sampling
+// plan. Preloading is disabled grid-wide — records carry no
+// wall-clock, and the figure's point is the timing.
+func sampleGrid(workloads []string, sc sample.Config, scale float64) *sweep.Grid {
+	return &sweep.Grid{
+		Name:      "fig-sample",
+		Workloads: workloads,
+		Scale:     scale,
+		Base:      &sweep.Knobs{Mode: timing.ModeShared.String(), NoSample: true},
+		Axes: []sweep.Axis{{Name: "sim", Values: []sweep.Value{
+			{Name: "full"},
+			{Name: "sampled", Knobs: sweep.Knobs{Sample: &sweep.SamplePlan{
+				Every: sc.Every, Interval: sc.Interval, Warmup: &sc.Warmup}}},
+		}}},
+		Baseline:  map[string]string{"sim": "full"},
+		NoPreload: true,
 	}
-	j.Ref = r.refs[p.Name()]
-	j.NoPreload = true
-	return j
 }
 
 // FigSample runs the sampled-vs-full comparison under the given plan
-// (nil = DefaultSamplePlan). The runs execute one benchmark at a time
-// so the wall-clock columns are not distorted by co-scheduling; the
-// sampled leg still measures its selected intervals in parallel across
-// the session's workers, exactly as a production sampled run would.
+// (nil = DefaultSamplePlan). The grid executes sequentially (one cell
+// at a time) so the wall-clock columns are not distorted by
+// co-scheduling; the sampled leg still measures its selected intervals
+// in parallel across the session's workers, exactly as a production
+// sampled run would.
 func (r *Runner) FigSample(plan *sample.Config) (*stats.Table, error) {
 	sc := DefaultSamplePlan
 	if plan != nil {
@@ -55,9 +59,15 @@ func (r *Runner) FigSample(plan *sample.Config) (*stats.Table, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	// A dedicated session: results memoized by other figures must not
-	// serve either leg, or the timings would measure a map lookup.
-	sess := darco.NewSession(darco.WithWorkers(r.opts.Jobs))
+	// A dedicated session (sweep.Run builds one): results memoized by
+	// other figures must not serve either leg, or the timings would
+	// measure a map lookup.
+	base := r.opts.Config
+	rs, err := sweep.Run(r.ctx(), sampleGrid(r.workloadRefs(), sc, r.opts.Scale),
+		sweep.Options{Config: &base, Jobs: r.opts.Jobs, Sequential: true})
+	if err != nil {
+		return nil, err
+	}
 
 	t := stats.NewTable(
 		fmt.Sprintf("Figure SAMPLE: sampled vs full simulation (interval %d, every %d, warmup %d)",
@@ -66,19 +76,11 @@ func (r *Runner) FigSample(plan *sample.Config) (*stats.Table, error) {
 		"measured", "full-s", "sampled-s", "speedup")
 	var sumErr, worstErr, sumSpeed float64
 	n := 0
-	err := r.forEach(func(p workload.Program) error {
-		t0 := time.Now()
-		full, err := sess.Run(r.ctx(), r.sampleJob(p, nil))
-		if err != nil {
-			return err
-		}
-		fullDur := time.Since(t0)
-		t0 = time.Now()
-		sampled, err := sess.Run(r.ctx(), r.sampleJob(p, &sc))
-		if err != nil {
-			return err
-		}
-		sampDur := time.Since(t0)
+	err = r.forEach(func(p workload.Program) error {
+		fullRow := rs.Lookup(p.Name(), "full")
+		sampledRow := rs.Lookup(p.Name(), "sampled")
+		full, sampled := fullRow.Result, sampledRow.Result
+		fullDur, sampDur := fullRow.Elapsed, sampledRow.Elapsed
 		rep := sampled.Sampled
 		if rep == nil {
 			return fmt.Errorf("experiments: sampled run of %s carries no report", p.Name())

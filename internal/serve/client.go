@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/darco"
 	"repro/internal/timing"
@@ -137,6 +138,15 @@ func (c *Client) Jobs(ctx context.Context, tenant string) ([]JobStatus, error) {
 	return out, err
 }
 
+// Cancel stops a queued or running job and returns its status at the
+// moment the cancel was accepted. The server refuses (409) once the
+// job is terminal.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
 // Delete removes a completed job from the server's registry and
 // returns its final status. The server refuses (409) while the job is
 // queued or running.
@@ -249,6 +259,15 @@ func (c *Client) RunRemote(ctx context.Context, ref string, scale float64, cfg d
 	if err != nil {
 		return nil, err
 	}
+	// A locally abandoned run must not keep burning a remote worker:
+	// when ctx dies before the job settles, best-effort cancel it on
+	// the server (off ctx, which is already dead).
+	stop := context.AfterFunc(ctx, func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _ = c.Cancel(cctx, resp.ID)
+	})
+	defer stop()
 	if events != nil {
 		// The stream ends at the job's terminal event; a broken stream
 		// only loses observability, the result fetch below still

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"sync"
 	"time"
@@ -21,8 +22,15 @@ type job struct {
 	sjob   darco.Job
 	cfg    darco.Config
 
+	// ctx governs this job's simulation only; cancel fires on POST
+	// /jobs/{id}/cancel and on server drain (the parent is the server's
+	// run context).
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu        sync.Mutex
 	state     string
+	cancelled bool // cancel requested before the job settled
 	fromCache bool
 	startSeq  int
 	events    []WireEvent
@@ -35,7 +43,8 @@ type job struct {
 	done chan struct{} // closed when the job reaches a terminal state
 }
 
-func newJob(id, tenant string, sjob darco.Job, key string, cfg darco.Config) *job {
+func newJob(parent context.Context, id, tenant string, sjob darco.Job, key string, cfg darco.Config) *job {
+	ctx, cancel := context.WithCancel(parent)
 	return &job{
 		id:      id,
 		tenant:  tenant,
@@ -45,10 +54,27 @@ func newJob(id, tenant string, sjob darco.Job, key string, cfg darco.Config) *jo
 		key:     key,
 		sjob:    sjob,
 		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
 		state:   StateQueued,
 		changed: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+}
+
+// requestCancel cancels the job's run context and marks the job for
+// the cancelled terminal state. It reports false — and does nothing —
+// once the job has settled.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelled = true
+	j.mu.Unlock()
+	j.cancel()
+	return true
 }
 
 // isFromCache reports whether the session served the job without
@@ -100,14 +126,21 @@ func (j *job) setRunning(seq int) {
 }
 
 // finish publishes the terminal record (which carries any error in its
-// Error field) and wakes waiters and subscribers.
+// Error field) and wakes waiters and subscribers. An error after a
+// cancel request settles the job as cancelled rather than failed; a
+// result that won the race against its own cancellation is still done.
 func (j *job) finish(raw json.RawMessage, err error) {
+	j.cancel() // release the per-job context either way
 	j.mu.Lock()
-	if err != nil {
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case j.cancelled:
+		j.state = StateCancelled
+		j.err = err
+	default:
 		j.state = StateFailed
 		j.err = err
-	} else {
-		j.state = StateDone
 	}
 	j.raw = raw
 	j.doneAt = time.Now()
@@ -121,7 +154,7 @@ func (j *job) finish(raw json.RawMessage, err error) {
 func (j *job) terminalAt() (bool, time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state == StateDone || j.state == StateFailed, j.doneAt
+	return terminalState(j.state), j.doneAt
 }
 
 func (j *job) status() JobStatus {
@@ -155,7 +188,7 @@ func (j *job) snapshot(cursor int) (evs []WireEvent, changed chan struct{}, term
 	if cursor < len(j.events) {
 		evs = append(evs, j.events[cursor:]...)
 	}
-	return evs, j.changed, j.state == StateDone || j.state == StateFailed
+	return evs, j.changed, terminalState(j.state)
 }
 
 // record returns the terminal record bytes (nil while the job is

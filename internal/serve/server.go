@@ -16,6 +16,8 @@
 //	                        503 while shutting down)
 //	GET  /jobs              list job statuses (?tenant= filters)
 //	GET  /jobs/{id}         one JobStatus
+//	POST /jobs/{id}/cancel  stop a queued or running job
+//	                        (409 once the job is terminal)
 //	DELETE /jobs/{id}       drop a completed job from the registry
 //	                        (409 while queued or running)
 //	GET  /jobs/{id}/events  SSE stream of WireEvents (replay + live)
@@ -56,6 +58,11 @@ const DefaultQueueLimit = 256
 // ErrShuttingDown is recorded on jobs that were still queued when the
 // server began draining.
 var ErrShuttingDown = errors.New("serve: server shutting down")
+
+// ErrCancelled is recorded on jobs stopped by POST /jobs/{id}/cancel
+// before they ran (a job cancelled mid-simulation carries the
+// simulation's context error instead).
+var ErrCancelled = errors.New("serve: job cancelled")
 
 // Config configures a Server.
 type Config struct {
@@ -151,6 +158,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
@@ -283,6 +291,14 @@ func (s *Server) enforceStoreQuota() {
 }
 
 func (s *Server) runJob(j *job) {
+	if j.ctx.Err() != nil {
+		// Cancelled (or drained) while still queued: settle without
+		// ever occupying a simulation slot.
+		j.note(darco.Event{Job: j.sjob.Name, Mode: j.cfg.Mode, Kind: darco.EventFailed, Err: ErrCancelled})
+		j.finish(s.recordBytes(j, nil, ErrCancelled), ErrCancelled)
+		s.logf("job %s cancelled while queued", j.id)
+		return
+	}
 	s.mu.Lock()
 	s.startSeq++
 	seq := s.startSeq
@@ -291,7 +307,7 @@ func (s *Server) runJob(j *job) {
 	j.setRunning(seq)
 	s.logf("job %s start #%d (tenant %s, %s)", j.id, seq, j.tenant, j.ref)
 
-	res, err := s.sess.Run(s.runCtx, j.sjob)
+	res, err := s.sess.Run(j.ctx, j.sjob)
 	j.finish(s.recordBytes(j, res, err), err)
 	s.enforceStoreQuota()
 
@@ -299,6 +315,8 @@ func (s *Server) runJob(j *job) {
 	s.running--
 	s.mu.Unlock()
 	switch {
+	case err != nil && j.status().State == StateCancelled:
+		s.logf("job %s cancelled: %v", j.id, err)
 	case err != nil:
 		s.logf("job %s failed: %v", j.id, err)
 	case j.isFromCache():
@@ -401,7 +419,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobSeq++
 	id := fmt.Sprintf("j-%06d", s.jobSeq)
-	j := newJob(id, tenant, sjob, key, cfg)
+	j := newJob(s.runCtx, id, tenant, sjob, key, cfg)
 	j.sjob.Events = j.note
 	s.jobs[id] = j
 	s.mu.Unlock()
@@ -474,7 +492,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := j.status()
-	if st.State != StateDone && st.State != StateFailed {
+	if !terminalState(st.State) {
 		s.mu.Unlock()
 		writeError(w, http.StatusConflict, "job %s is %s; only completed jobs can be deleted", id, st.State)
 		return
@@ -483,6 +501,25 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.logf("job %s deleted", id)
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancel stops a queued or running job: its per-job context is
+// cancelled and the job settles in the cancelled terminal state — a
+// running simulation unwinds at its next cancellation check, a queued
+// job settles when a worker pops it. Terminal jobs are refused with
+// 409, so a cancel never retracts a result a client may have seen.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	if !j.requestCancel() {
+		writeError(w, http.StatusConflict, "job %s is %s; only queued or running jobs can be cancelled",
+			j.id, j.status().State)
+		return
+	}
+	s.logf("job %s cancel requested", j.id)
+	writeJSON(w, http.StatusOK, j.status())
 }
 
 // handleEvents streams the job's event log as Server-Sent Events:

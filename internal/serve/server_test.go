@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -600,4 +601,70 @@ func ExampleClient() {
 	_, err = sess.Run(context.Background(), job)
 	_ = err // network errors surface here exactly like local failures
 	// Output:
+}
+
+// TestCancelJobs drives POST /jobs/{id}/cancel through both live
+// states: a running job unwinds mid-simulation, a queued job settles
+// without ever taking a worker, and terminal/unknown jobs are refused
+// with 409/404.
+func TestCancelJobs(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+
+	// Hold the single worker with a gated job and queue one behind it.
+	runRef, release := gatedRef(t, "cancel-running")
+	running, err := c.Submit(context.Background(), SubmitRequest{Workload: runRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, running.ID, StateRunning)
+	queuedRef, _ := gatedRef(t, "cancel-queued")
+	queued, err := c.Submit(context.Background(), SubmitRequest{Workload: queuedRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both cancels are accepted while the jobs are live.
+	if _, err := c.Cancel(context.Background(), queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(context.Background(), running.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The running job unwinds at the engine's next context poll once
+	// the gate opens; the queued one settles when the freed worker pops
+	// it — without ever being dispatched (StartSeq stays 0).
+	release()
+	st := waitState(t, c, running.ID, StateCancelled)
+	if st.Error == "" {
+		t.Fatal("cancelled running job carries no error")
+	}
+	qst := waitState(t, c, queued.ID, StateCancelled)
+	if qst.StartSeq != 0 {
+		t.Fatalf("cancelled-while-queued job was dispatched: %+v", qst)
+	}
+
+	// The terminal record carries the cancellation error and the event
+	// stream has a terminal event, so waiting clients settle.
+	rec, err := c.Result(context.Background(), running.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Error == "" {
+		t.Fatal("record of cancelled job has no error")
+	}
+
+	// Cancelling a settled job is refused; the result stands.
+	var se *StatusError
+	if _, err := c.Cancel(context.Background(), running.ID); !asStatus(err, &se) || se.Code != http.StatusConflict {
+		t.Fatalf("cancel of terminal job: %v", err)
+	}
+	if _, err := c.Cancel(context.Background(), "j-999999"); !asStatus(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("cancel of unknown job: %v", err)
+	}
+
+	// Cancelled jobs are terminal for registry purposes: deletable.
+	if _, err := c.Delete(context.Background(), queued.ID); err != nil {
+		t.Fatal(err)
+	}
 }

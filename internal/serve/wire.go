@@ -55,13 +55,22 @@ type SubmitResponse struct {
 	Addr string `json:"addr"`
 }
 
-// Job lifecycle states reported by JobStatus.State.
+// Job lifecycle states reported by JobStatus.State. StateCancelled is
+// terminal like StateDone/StateFailed, entered when POST
+// /jobs/{id}/cancel stops a queued or running job.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
 )
+
+// terminalState reports whether a job in this state has settled: its
+// record is final and it can be deleted but no longer cancelled.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
 
 // JobStatus is the body of GET /jobs/{id} and the element of GET
 // /jobs listings.

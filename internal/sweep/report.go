@@ -1,0 +1,173 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Lookup returns the row for a workload (by program name or reference)
+// at the given coordinate values, one per axis in declared order —
+// the accessor figure harnesses assemble their bespoke tables from.
+// Fewer values than axes match any cell agreeing on the given prefix;
+// nil when no row matches.
+func (rs *ResultSet) Lookup(name string, values ...string) *Row {
+	for i := range rs.Rows {
+		r := &rs.Rows[i]
+		if r.Name != name && r.Workload != name {
+			continue
+		}
+		if len(values) > len(r.Coords) {
+			continue
+		}
+		ok := true
+		for j, v := range values {
+			if r.Coords[j].Value != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r
+		}
+	}
+	return nil
+}
+
+// baseline returns the workload's row at the grid's declared baseline
+// coordinates (nil when the grid declares none or the cell is absent).
+func (rs *ResultSet) baseline(workload string) *Row {
+	coords := rs.Grid.baselineCoords()
+	if coords == nil {
+		return nil
+	}
+	vals := make([]string, len(coords))
+	for i, c := range coords {
+		vals[i] = c.Value
+	}
+	return rs.Lookup(workload, vals...)
+}
+
+// Table aggregates the result set into the generic long-form grid
+// table: one row per cell with its full coordinates and headline
+// metrics, a derived speedup column against the grid's declared
+// baseline cell, sampling confidence intervals when a cell ran
+// sampled, and per-coordinate GEOMEAN rows across workloads. The
+// table deliberately excludes volatile columns (wall-clock, cache
+// provenance), so its rendering — and the CSV — is byte-identical
+// between a fresh run and a fully store-served re-run.
+func (rs *ResultSet) Table() *stats.Table {
+	g := rs.Grid
+	name := g.Name
+	if name == "" {
+		name = "sweep"
+	}
+	headers := []string{"workload", "suite"}
+	for _, ax := range g.Axes {
+		headers = append(headers, ax.Name)
+	}
+	headers = append(headers, "cycles", "ipc", "tol%", "ci95%", "speedup")
+	t := stats.NewTable(fmt.Sprintf("Grid %s: %d workloads x %d cells", name, len(g.Workloads), len(rs.Rows)), headers...)
+
+	cellsFor := func(r *Row) []string {
+		cells := []string{r.Workload, r.Suite}
+		for _, c := range r.Coords {
+			cells = append(cells, c.Value)
+		}
+		if r.Summary == nil {
+			return append(cells, "error: "+r.Error, "", "", "", "")
+		}
+		ci := ""
+		if r.Result != nil && r.Result.Sampled != nil {
+			if m, ok := r.Result.Sampled.Metric("cycles"); ok {
+				ci = fmt.Sprintf("%.2f", 100*m.RelErr)
+			}
+		}
+		speed := ""
+		if base := rs.baseline(r.Workload); base != nil && base.Summary != nil && r.Summary.Cycles > 0 {
+			speed = fmt.Sprintf("%.3f", float64(base.Summary.Cycles)/float64(r.Summary.Cycles))
+		}
+		return append(cells,
+			fmt.Sprintf("%d", r.Summary.Cycles),
+			fmt.Sprintf("%.3f", r.Summary.IPC),
+			fmt.Sprintf("%.1f", 100*r.Summary.TOLShare),
+			ci, speed)
+	}
+	for i := range rs.Rows {
+		t.AddRow(cellsFor(&rs.Rows[i])...)
+	}
+
+	if len(g.Workloads) > 1 {
+		rs.addGeomeans(t)
+	}
+	return t
+}
+
+// addGeomeans appends one GEOMEAN row per coordinate tuple, computed
+// across the workloads that completed at that tuple — the standard
+// cross-workload aggregate of the paper's figures.
+func (rs *ResultSet) addGeomeans(t *stats.Table) {
+	type agg struct {
+		coords               []Coord
+		n                    int
+		cycles, ipc, speedup float64
+		speedups             int
+	}
+	var order []string
+	groups := map[string]*agg{}
+	for i := range rs.Rows {
+		r := &rs.Rows[i]
+		if r.Summary == nil || r.Summary.Cycles == 0 {
+			continue
+		}
+		key := ""
+		for _, c := range r.Coords {
+			key += c.Value + "\x00"
+		}
+		a := groups[key]
+		if a == nil {
+			a = &agg{coords: r.Coords}
+			groups[key] = a
+			order = append(order, key)
+		}
+		a.n++
+		a.cycles += math.Log(float64(r.Summary.Cycles))
+		if r.Summary.IPC > 0 {
+			a.ipc += math.Log(r.Summary.IPC)
+		}
+		if base := rs.baseline(r.Workload); base != nil && base.Summary != nil {
+			a.speedup += math.Log(float64(base.Summary.Cycles) / float64(r.Summary.Cycles))
+			a.speedups++
+		}
+	}
+	for _, key := range order {
+		a := groups[key]
+		cells := []string{"GEOMEAN", ""}
+		for _, c := range a.coords {
+			cells = append(cells, c.Value)
+		}
+		speed := ""
+		if a.speedups == a.n && a.n > 0 {
+			speed = fmt.Sprintf("%.3f", math.Exp(a.speedup/float64(a.n)))
+		}
+		cells = append(cells,
+			fmt.Sprintf("%.0f", math.Exp(a.cycles/float64(a.n))),
+			fmt.Sprintf("%.3f", math.Exp(a.ipc/float64(a.n))),
+			"", "", speed)
+		t.AddRow(cells...)
+	}
+}
+
+// CSV renders the aggregated table as comma-separated values.
+func (rs *ResultSet) CSV() string { return rs.Table().CSV() }
+
+// WriteJSON writes the full long-form result set as indented JSON —
+// one object per cell with coordinates, memo key and summary.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}

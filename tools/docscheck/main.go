@@ -18,8 +18,8 @@
 // References are recognized inside backticks as <pkg>.<Exported> with
 // an optional .<Member> tail, where <pkg> is one of the repository's
 // package names (guest, x86emu, host, mem, tol, timing, darco,
-// workload, experiments, stats, store, serve, snapshot, sample,
-// fuzz).
+// workload, experiments, sweep, stats, store, serve, snapshot,
+// sample, fuzz).
 // Member references are checked
 // against the type's method and struct-field sets; anything deeper is
 // accepted once the first two levels resolve.
@@ -49,6 +49,7 @@ var packages = map[string]string{
 	"darco":       "internal/darco",
 	"workload":    "internal/workload",
 	"experiments": "internal/experiments",
+	"sweep":       "internal/sweep",
 	"stats":       "internal/stats",
 	"store":       "internal/store",
 	"serve":       "internal/serve",
