@@ -56,6 +56,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	benches := flag.String("benchmarks", "", "comma-separated subset of benchmarks (workload references)")
+	isaFlag := flag.String("isa", "", "guest ISA frontend: x86 or rv32 (default: per-program; benchmark names resolve through the selected frontend's catalog)")
 	workloadFlag := flag.String("workload", "", "comma-separated workload references (<source>:<name>) appended to -benchmarks")
 	phases := flag.Int("phases", 0, "largest composite of the -fig phase sweep (0 = default)")
 	phaseCap := flag.Int("phase-cap", 0, "bounded code-cache capacity of the -fig phase sweep in instruction slots (0 = default)")
@@ -98,6 +100,7 @@ func main() {
 	opts.Scale = *scale
 	opts.Config = darco.DefaultConfig()
 	opts.Config.TOL.Cosim = *cosim
+	opts.Config.ISA = *isaFlag
 	if *fig == "cc" && (*ccSize != 0 || *ccPolicy != "") {
 		// The sweep sets its own capacity × policy matrix per point; a
 		// base-config bound would be silently overwritten. Use cmd/darco
@@ -152,6 +155,9 @@ func main() {
 	}
 	if *workloadFlag != "" {
 		opts.Benchmarks = append(opts.Benchmarks, strings.Split(*workloadFlag, ",")...)
+	}
+	for i, ref := range opts.Benchmarks {
+		opts.Benchmarks[i] = workload.RefForISA(strings.TrimSpace(ref), *isaFlag)
 	}
 	if *from != "" {
 		for _, path := range strings.Split(*from, ",") {

@@ -46,6 +46,7 @@ func main() {
 	suite := flag.String("suite", "", "restrict to one suite (int, fp, physics, media)")
 	bench := flag.String("bench", "", "restrict to one benchmark (exact name)")
 	modeFlag := flag.String("mode", timing.ModeShared.String(), "timing mode: shared, app-only, tol-only, split")
+	isaFlag := flag.String("isa", "", "guest ISA frontend: x86 or rv32 (default: per-program; benchmark names resolve through the selected frontend's catalog)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.Bool("json", false, "emit JSON records (full results) instead of a table")
 	cosim := flag.Bool("cosim", true, "verify execution against the authoritative emulator")
@@ -87,21 +88,29 @@ func main() {
 		}
 		specs = workload.BySuite(su)
 	case *workloadFlag == "":
-		specs = workload.Catalog()
+		if *isaFlag == "rv32" {
+			// The RV32I frontend ships a starter subset of the catalog;
+			// sweeping the full x86 catalog under -isa rv32 would fail on
+			// every unported entry.
+			specs = workload.RV32Catalog()
+		} else {
+			specs = workload.Catalog()
+		}
 	}
 	refs := make([]string, 0, len(specs))
 	for _, s := range specs {
-		refs = append(refs, "synthetic:"+s.Name)
+		refs = append(refs, workload.RefForISA(s.Name, *isaFlag))
 	}
 	if *workloadFlag != "" {
 		for _, ref := range strings.Split(*workloadFlag, ",") {
-			refs = append(refs, strings.TrimSpace(ref))
+			refs = append(refs, workload.RefForISA(strings.TrimSpace(ref), *isaFlag))
 		}
 	}
 
 	cfg := darco.DefaultConfig()
 	cfg.TOL.Cosim = *cosim
 	cfg.Mode = mode
+	cfg.ISA = *isaFlag
 	darco.ApplyCacheFlags(&cfg.TOL, *ccSize, *ccPolicy)
 	if err := darco.ApplyPipelineFlags(&cfg.TOL, *optLevel, *passes, *promote); err != nil {
 		fmt.Fprintln(os.Stderr, "darco-suite:", err)

@@ -55,6 +55,7 @@ func main() {
 	record := flag.String("record", "", "record the selected workload's guest image to this trace file (replay with -workload trace:<file>); requires exactly one workload")
 	scale := flag.Float64("scale", 1.0, "workload dynamic-size multiplier")
 	modeFlag := flag.String("mode", timing.ModeShared.String(), "timing mode: shared, app-only, tol-only, split")
+	isaFlag := flag.String("isa", "", "guest ISA frontend: x86 or rv32 (default: per-program; -bench names resolve through the selected frontend's catalog)")
 	list := flag.Bool("list", false, "list catalog benchmarks and exit")
 	printConfig := flag.Bool("print-config", false, "print the Table I host configuration and exit")
 	cosim := flag.Bool("cosim", true, "verify against the authoritative emulator")
@@ -99,6 +100,7 @@ func main() {
 	cfg := darco.DefaultConfig()
 	cfg.TOL.Cosim = *cosim
 	cfg.Mode = mode
+	cfg.ISA = *isaFlag
 	if *sbth > 0 {
 		cfg.TOL.SBThreshold = *sbth
 	}
@@ -118,12 +120,12 @@ func main() {
 	var refs []string
 	if *bench != "" {
 		for _, name := range strings.Split(*bench, ",") {
-			refs = append(refs, "synthetic:"+strings.TrimSpace(name))
+			refs = append(refs, workload.RefForISA(strings.TrimSpace(name), *isaFlag))
 		}
 	}
 	if *workloadFlag != "" {
 		for _, ref := range strings.Split(*workloadFlag, ",") {
-			refs = append(refs, strings.TrimSpace(ref))
+			refs = append(refs, workload.RefForISA(strings.TrimSpace(ref), *isaFlag))
 		}
 	}
 	var sessJobs []darco.Job

@@ -55,6 +55,13 @@ type Config struct {
 	Timing timing.Config `json:"timing"`
 	Mode   timing.Mode   `json:"mode"`
 
+	// ISA, when non-empty, pins the run to one guest frontend: programs
+	// decoding under any other frontend are rejected before simulating.
+	// Empty accepts whatever frontend the program declares (the engine
+	// resolves it per program), and keeps the JSON form — and therefore
+	// every pre-frontend memo-cache and store key — unchanged.
+	ISA string `json:"isa,omitempty"`
+
 	// MaxCycles aborts runaway timing simulations (0 = default guard).
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
 
@@ -113,6 +120,11 @@ func (c *Config) Validate() error {
 	}
 	if c.Sampling != nil {
 		if err := c.Sampling.Validate(); err != nil {
+			return fmt.Errorf("darco: invalid config: %w", err)
+		}
+	}
+	if c.ISA != "" {
+		if _, err := guest.LookupISA(c.ISA); err != nil {
 			return fmt.Errorf("darco: invalid config: %w", err)
 		}
 	}
@@ -288,6 +300,15 @@ func (cfg Config) run(ctx context.Context, p *guest.Program) (*Result, error) {
 func (cfg Config) runWith(ctx context.Context, p *guest.Program, env sampleEnv) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.ISA != "" {
+		isa, err := guest.ISAOf(p)
+		if err != nil {
+			return nil, fmt.Errorf("darco: %w", err)
+		}
+		if isa.Name != cfg.ISA {
+			return nil, fmt.Errorf("darco: run pinned to ISA %q but the program decodes under %q", cfg.ISA, isa.Name)
+		}
 	}
 	if cfg.Sampling != nil {
 		return cfg.runSampled(ctx, p, env)

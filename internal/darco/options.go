@@ -24,6 +24,16 @@ func WithMode(m timing.Mode) Option {
 	return func(c *Config) { c.Mode = m }
 }
 
+// WithISA pins the run to one guest frontend ("x86" or "rv32"):
+// programs decoding under any other frontend are rejected before
+// simulating, which is the guard the -isa flag of the darco tools rests
+// on. The empty string restores the default — accept whatever frontend
+// the program declares. Unknown ISA names are rejected by
+// Config.Validate before the run starts.
+func WithISA(name string) Option {
+	return func(c *Config) { c.ISA = name }
+}
+
 // WithTOLConfig replaces the TOL policy configuration (thresholds,
 // feature switches, co-simulation).
 func WithTOLConfig(tc tol.Config) Option {

@@ -256,6 +256,13 @@ func JobForSpec(spec workload.Spec, scale float64, opts ...Option) Job {
 func JobForProgram(p workload.Program, scale float64, opts ...Option) Job {
 	meta := p.Meta()
 	variant := fmt.Sprintf("src=%s|scale=%g", meta.Source, scale)
+	if meta.ISA != "" {
+		// Folded in only when set so x86 programs (ISA empty) keep the
+		// keys persistent stores already file results under. Same-named
+		// benchmarks under different frontends are different programs
+		// and must never share a memoized result.
+		variant += "|isa=" + meta.ISA
+	}
 	if fp := workload.Fingerprint(p); fp != "" {
 		variant += "|id=" + fp
 	}

@@ -75,10 +75,23 @@ type Coverage struct {
 	IBTCHits    uint64 `json:"ibtc_hits"`
 	Chains      uint64 `json:"chains"`
 	CosimChecks uint64 `json:"cosim_checks"`
+	// ByISA splits DynTotal per guest frontend, so a sweep meant to
+	// cover both ISAs can be told apart from one whose rv32 cases all
+	// failed to generate (their counts would be missing, not merely
+	// small).
+	ByISA map[string]uint64 `json:"by_isa,omitempty"`
 }
 
-// add folds one run's statistics into the aggregate.
-func (c *Coverage) add(s *tol.Stats) {
+// add folds one run's statistics into the aggregate under the spec's
+// frontend ("" means x86, the workload-layer default).
+func (c *Coverage) add(isa string, s *tol.Stats) {
+	if isa == "" {
+		isa = "x86"
+	}
+	if c.ByISA == nil {
+		c.ByISA = make(map[string]uint64)
+	}
+	c.ByISA[isa] += s.DynTotal()
 	c.DynTotal += s.DynTotal()
 	c.BBTranslated += s.BBTranslated
 	c.Promotions += s.SBCreated
@@ -196,7 +209,7 @@ func (o *Oracle) Check(ctx context.Context, spec workload.Spec) (*Report, error)
 		default:
 			out.DynTotal = br.Result.GuestDyn()
 			out.Cycles = br.Result.Timing.Cycles
-			rep.Coverage.add(&br.Result.TOL)
+			rep.Coverage.add(spec.ISA, &br.Result.TOL)
 			// Cross-cell agreement: every configuration must retire the
 			// same guest instructions into the same architectural state.
 			if agreeFinal == nil {

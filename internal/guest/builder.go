@@ -12,6 +12,11 @@ type Program struct {
 	Code       []byte
 	Data       []DataSeg
 	StaticInst int // number of static guest instructions in Code
+
+	// ISA names the frontend whose encodings Code holds. Empty means
+	// x86, so programs predating the second frontend keep their
+	// meaning. Resolve with ISAOf.
+	ISA string
 }
 
 // DataSeg is an initialized data segment.
@@ -21,9 +26,15 @@ type DataSeg struct {
 }
 
 // LoadInto places the program image into a guest memory space and
-// returns the initial architectural state (EIP at entry, ESP at the top
-// of the guest stack).
+// returns the initial architectural state per the program's frontend
+// (EIP at entry, the frontend's stack pointer at the top of the guest
+// stack). An unregistered Program.ISA panics — callers validate ISA
+// names at the configuration boundary.
 func (p *Program) LoadInto(m mem.Memory) State {
+	isa, err := ISAOf(p)
+	if err != nil {
+		panic(err)
+	}
 	for i, b := range p.Code {
 		m.Write8(mem.GuestCodeBase+uint32(i), b)
 	}
@@ -33,8 +44,7 @@ func (p *Program) LoadInto(m mem.Memory) State {
 		}
 	}
 	var s State
-	s.EIP = p.Entry
-	s.Regs[ESP] = mem.GuestStackTop
+	isa.InitState(&s, p.Entry)
 	return s
 }
 

@@ -5,7 +5,7 @@ import (
 )
 
 // decodeCacheEntries is the number of direct-mapped DecodeCache slots.
-// Guest encodings are 1-7 bytes, so consecutive instructions land in
+// x86 encodings are 1-7 bytes, so consecutive instructions land in
 // distinct slots; 8192 entries cover hot regions far larger than any
 // catalog benchmark's working set of static code.
 const decodeCacheEntries = 8192
@@ -19,26 +19,31 @@ const decodeCacheEntries = 8192
 //
 // The cache is direct-mapped: a colliding address simply overwrites
 // the slot. Lookups are exact (tagged by full EIP), so collisions cost
-// a re-decode, never a wrong instruction.
+// a re-decode, never a wrong instruction. Indexing drops the
+// frontend's alignment bits (ISA.InstShift): a fixed four-byte
+// encoding only ever presents PCs with the low two bits clear, and
+// indexing by those bits would leave 3/4 of the slots permanently
+// cold.
 type DecodeCache struct {
+	isa   *ISA
 	tags  [decodeCacheEntries]uint32 // EIP+1; 0 = empty
 	insts [decodeCacheEntries]Inst
 }
 
-// NewDecodeCache returns an empty decode cache.
-func NewDecodeCache() *DecodeCache {
-	return &DecodeCache{}
+// NewDecodeCache returns an empty decode cache for one frontend.
+func NewDecodeCache(isa *ISA) *DecodeCache {
+	return &DecodeCache{isa: isa}
 }
 
-// Step is Step with fetch+decode served from the cache. Semantics and
-// failure modes are identical to Step on immutable code.
+// Step is ISA.Step with fetch+decode served from the cache. Semantics
+// and failure modes are identical on immutable code.
 func (c *DecodeCache) Step(s *State, m mem.Memory, res *StepResult) error {
 	eip := s.EIP
-	idx := eip & (decodeCacheEntries - 1)
+	idx := (eip >> c.isa.InstShift) & (decodeCacheEntries - 1)
 	if c.tags[idx] == eip+1 {
 		return stepDecoded(s, m, &c.insts[idx], res)
 	}
-	inst, err := fetchDecode(eip, m)
+	inst, err := c.isa.fetchDecode(eip, m)
 	if err != nil {
 		return err
 	}

@@ -7,19 +7,16 @@ import (
 	"repro/internal/mem"
 )
 
-// TestDecodeCacheStepMatchesStep locks the cached interpreter to the
-// canonical semantics: running the same program through Step and
-// through DecodeCache.Step must produce identical states and
-// StepResults at every instruction, including revisits that hit the
-// cache.
-func TestDecodeCacheStepMatchesStep(t *testing.T) {
+// decodeCacheX86Program builds a variable-length x86 program with a
+// loop body covering several encodings and a data access.
+func decodeCacheX86Program(t *testing.T) *Program {
+	t.Helper()
 	b := NewBuilder()
 	r := rand.New(rand.NewSource(7))
 	b.Label("start")
 	b.MovRI(EBP, int32(mem.GuestDataBase))
 	b.MovRI(ECX, 300)
 	b.Label("loop")
-	// A body covering several encodings and a data access.
 	b.AddRI(EAX, int32(r.Intn(1000)))
 	b.XorRR(EAX, ECX)
 	b.Store(EBP, 16, EAX)
@@ -37,32 +34,208 @@ func TestDecodeCacheStepMatchesStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return p
+}
 
-	m1, m2 := mem.NewSparse(), mem.NewSparse()
-	s1 := p.LoadInto(m1)
-	s2 := p.LoadInto(m2)
-	dc := NewDecodeCache()
-	for step := 0; ; step++ {
-		var r1, r2 StepResult
-		err1 := Step(&s1, m1, &r1)
-		err2 := dc.Step(&s2, m2, &r2)
-		if (err1 == nil) != (err2 == nil) {
-			t.Fatalf("step %d: errors diverge: %v vs %v", step, err1, err2)
+// decodeCacheRV32Program builds a fixed-length RV32I program with the
+// same shape: an ALU-heavy loop, memory traffic, a conditional skip,
+// and a call through jal/jalr.
+func decodeCacheRV32Program(t *testing.T) *Program {
+	t.Helper()
+	b := NewRV32Builder()
+	b.Li(8, int32(mem.GuestDataBase))
+	b.Li(5, 300)
+	b.Label("loop")
+	b.Addi(10, 10, 37)
+	b.Xor(10, 10, 5)
+	b.Sw(10, 8, 16)
+	b.Lw(11, 8, 16)
+	b.Slli(11, 11, 3)
+	b.Bge(11, 0, "skip")
+	b.Addi(7, 7, 1)
+	b.Label("skip")
+	b.Jal(1, "leaf")
+	b.Addi(5, 5, -1)
+	b.Bne(5, 0, "loop")
+	b.Ebreak()
+	b.Label("leaf")
+	b.Sra(12, 10, 5)
+	b.Sltu(13, 12, 10)
+	b.Jalr(0, 1, 0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func decodeCachePrograms(t *testing.T) map[string]*Program {
+	return map[string]*Program{
+		"x86":  decodeCacheX86Program(t),
+		"rv32": decodeCacheRV32Program(t),
+	}
+}
+
+// TestDecodeCacheStepMatchesStep locks the cached interpreter to the
+// canonical semantics for every registered frontend: running the same
+// program through ISA.Step and through DecodeCache.Step must produce
+// identical states and StepResults at every instruction, including
+// revisits that hit the cache.
+func TestDecodeCacheStepMatchesStep(t *testing.T) {
+	for name, p := range decodeCachePrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			isa, err := ISAOf(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m1, m2 := mem.NewSparse(), mem.NewSparse()
+			s1 := p.LoadInto(m1)
+			s2 := p.LoadInto(m2)
+			dc := NewDecodeCache(isa)
+			for step := 0; ; step++ {
+				var r1, r2 StepResult
+				err1 := isa.Step(&s1, m1, &r1)
+				err2 := dc.Step(&s2, m2, &r2)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("step %d: errors diverge: %v vs %v", step, err1, err2)
+				}
+				if err1 != nil {
+					break
+				}
+				if r1 != r2 {
+					t.Fatalf("step %d: StepResult diverges:\n plain:  %+v\n cached: %+v", step, r1, r2)
+				}
+				if !s1.Equal(&s2) {
+					t.Fatalf("step %d: state diverges: %s", step, s1.Diff(&s2))
+				}
+				if r1.Halted {
+					break
+				}
+				if step > 1_000_000 {
+					t.Fatal("program did not halt")
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeCacheTagAliasing drives addresses that collide in the
+// direct-mapped index and checks the full-EIP tag forces a re-decode
+// instead of replaying the wrong instruction. For the fixed-length
+// frontend the colliding addresses differ by exactly
+// decodeCacheEntries<<InstShift, proving the shifted indexing is what
+// makes them collide.
+func TestDecodeCacheTagAliasing(t *testing.T) {
+	t.Run("x86", func(t *testing.T) {
+		m := mem.NewSparse()
+		lo := mem.GuestCodeBase
+		hi := lo + decodeCacheEntries // same index, different tag
+		for _, enc := range []struct {
+			addr uint32
+			inst Inst
+		}{
+			{lo, Inst{Op: OpAddRI, R1: EAX, Imm: 5}},
+			{hi, Inst{Op: OpSubRI, R1: EAX, Imm: 3}},
+		} {
+			for i, byt := range Encode(nil, enc.inst) {
+				m.Write8(enc.addr+uint32(i), byt)
+			}
 		}
-		if err1 != nil {
-			break
+		dc := NewDecodeCache(X86)
+		var s State
+		var res StepResult
+		for round := 0; round < 3; round++ {
+			s = State{EIP: lo}
+			if err := dc.Step(&s, m, &res); err != nil {
+				t.Fatal(err)
+			}
+			want := s.Regs[EAX]
+			s = State{EIP: hi, Regs: s.Regs}
+			if err := dc.Step(&s, m, &res); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Regs[EAX]; got != want-3 {
+				t.Fatalf("round %d: colliding slot replayed stale instruction: eax=%d want %d", round, got, want-3)
+			}
 		}
-		if r1 != r2 {
-			t.Fatalf("step %d: StepResult diverges:\n plain:  %+v\n cached: %+v", step, r1, r2)
+	})
+
+	t.Run("rv32", func(t *testing.T) {
+		m := mem.NewSparse()
+		lo := mem.GuestCodeBase
+		hi := lo + decodeCacheEntries<<RV32.InstShift
+		if (lo>>RV32.InstShift)&(decodeCacheEntries-1) != (hi>>RV32.InstShift)&(decodeCacheEntries-1) {
+			t.Fatal("test bug: addresses do not collide under shifted indexing")
 		}
-		if !s1.Equal(&s2) {
-			t.Fatalf("step %d: state diverges: %s", step, s1.Diff(&s2))
+		write := func(addr, word uint32) {
+			for i := 0; i < 4; i++ {
+				m.Write8(addr+uint32(i), byte(word>>(8*i)))
+			}
 		}
-		if r1.Halted {
-			break
+		write(lo, rv32EncI(5, 0, 0, 10, 0x13))         // addi x10, x0, 5
+		write(hi, rv32EncI(-3&0xfff, 10, 0, 10, 0x13)) // addi x10, x10, -3
+		dc := NewDecodeCache(RV32)
+		var s State
+		var res StepResult
+		for round := 0; round < 3; round++ {
+			s = State{EIP: lo}
+			if err := dc.Step(&s, m, &res); err != nil {
+				t.Fatal(err)
+			}
+			s.EIP = hi
+			if err := dc.Step(&s, m, &res); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Regs[10]; got != 2 {
+				t.Fatalf("round %d: colliding slot replayed stale instruction: x10=%d want 2", round, got)
+			}
 		}
-		if step > 1_000_000 {
-			t.Fatal("program did not halt")
+	})
+}
+
+// TestDecodeCacheFixedLengthIndexSpread checks that consecutive
+// fixed-length instructions occupy consecutive cache slots rather than
+// aliasing into every fourth one: a straight-line rv32 program longer
+// than decodeCacheEntries/4 must still hit the cache on a second pass
+// if the shifted indexing works (without the shift, instructions 0 and
+// 2048 would collide).
+func TestDecodeCacheFixedLengthIndexSpread(t *testing.T) {
+	b := NewRV32Builder()
+	const n = decodeCacheEntries/4 + 64 // > one quarter of the slots
+	for i := 0; i < n; i++ {
+		b.Addi(10, 10, 1)
+	}
+	b.Ebreak()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewSparse()
+	s := p.LoadInto(m)
+	dc := NewDecodeCache(RV32)
+	var res StepResult
+	for !res.Halted {
+		if err := dc.Step(&s, m, &res); err != nil {
+			t.Fatal(err)
 		}
+	}
+	if s.Regs[10] != n {
+		t.Fatalf("x10=%d want %d", s.Regs[10], n)
+	}
+	// Every instruction decoded once; a full second pass must be
+	// served entirely from cache. Prove it by poisoning memory: a
+	// cache hit never touches the encoding bytes.
+	for i := range p.Code {
+		m.Write8(mem.GuestCodeBase+uint32(i), 0xff)
+	}
+	s = State{EIP: p.Entry}
+	res = StepResult{}
+	for !res.Halted {
+		if err := dc.Step(&s, m, &res); err != nil {
+			t.Fatalf("second pass missed the cache (re-decoded poisoned bytes): %v", err)
+		}
+	}
+	if s.Regs[10] != n {
+		t.Fatalf("second pass: x10=%d want %d", s.Regs[10], n)
 	}
 }

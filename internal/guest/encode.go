@@ -27,6 +27,13 @@ var ErrTruncated = errors.New("guest: truncated instruction")
 // ErrBadOpcode is returned for undefined opcode bytes.
 var ErrBadOpcode = errors.New("guest: undefined opcode")
 
+// numX86Ops bounds the opcodes that exist in the x86 encoding. The
+// RISC-family opcodes appended after it share the Inst form but have
+// no x86 byte encoding; without this bound they would fall into the
+// formatOf table's zero value (fmt0) and silently decode as one-byte
+// instructions.
+const numX86Ops = OpAdd3
+
 type encFormat uint8
 
 const (
@@ -74,7 +81,7 @@ var formatSize = [...]uint8{
 
 // SizeOf returns the encoded size in bytes of instructions with opcode op.
 func SizeOf(op Op) int {
-	if op >= NumOps {
+	if op >= numX86Ops {
 		return 0
 	}
 	return int(formatSize[formatOf[op]])
@@ -113,8 +120,8 @@ func log2scale(s uint8) uint8 {
 // out of range), which indicates a generator bug rather than bad input
 // data.
 func Encode(dst []byte, inst Inst) []byte {
-	if inst.Op >= NumOps {
-		panic(fmt.Sprintf("guest: encode invalid opcode %d", inst.Op))
+	if inst.Op >= numX86Ops {
+		panic(fmt.Sprintf("guest: encode opcode %d has no x86 encoding", inst.Op))
 	}
 	f := formatOf[inst.Op]
 	var buf [MaxInstSize]byte
@@ -185,7 +192,7 @@ func Decode(b []byte) (Inst, error) {
 		return Inst{}, ErrTruncated
 	}
 	op := Op(b[0])
-	if op >= NumOps {
+	if op >= numX86Ops {
 		return Inst{}, fmt.Errorf("%w: byte %#02x", ErrBadOpcode, b[0])
 	}
 	f := formatOf[op]

@@ -66,7 +66,7 @@ func randInst(r *rand.Rand, op Op) Inst {
 
 func TestEncodeDecodeRoundTripAllOps(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
-	for op := Op(0); op < NumOps; op++ {
+	for op := Op(0); op < numX86Ops; op++ {
 		for trial := 0; trial < 64; trial++ {
 			in := randInst(r, op)
 			enc := Encode(nil, in)
@@ -116,7 +116,7 @@ func TestDecodeNeverPanics(t *testing.T) {
 }
 
 func TestSizeOfAllOpsPositive(t *testing.T) {
-	for op := Op(0); op < NumOps; op++ {
+	for op := Op(0); op < numX86Ops; op++ {
 		s := SizeOf(op)
 		if s < 1 || s > MaxInstSize {
 			t.Fatalf("SizeOf(%s) = %d", op, s)
@@ -125,13 +125,23 @@ func TestSizeOfAllOpsPositive(t *testing.T) {
 	if SizeOf(NumOps) != 0 {
 		t.Fatal("SizeOf of invalid op should be 0")
 	}
+	// The RISC-family opcodes have no x86 encoding: SizeOf reports 0
+	// and Decode refuses their byte values.
+	for op := numX86Ops; op < NumOps; op++ {
+		if SizeOf(op) != 0 {
+			t.Fatalf("SizeOf(%s) = %d, want 0 (no x86 encoding)", op, SizeOf(op))
+		}
+		if _, err := Decode([]byte{byte(op), 0, 0, 0, 0, 0, 0}); err == nil {
+			t.Fatalf("Decode accepted RISC-family opcode byte %#02x", byte(op))
+		}
+	}
 }
 
 func TestVariableLengthEncodingSpread(t *testing.T) {
 	// The ISA must actually be variable-length for the study to be
 	// meaningful: verify at least 4 distinct sizes exist.
 	sizes := map[int]bool{}
-	for op := Op(0); op < NumOps; op++ {
+	for op := Op(0); op < numX86Ops; op++ {
 		sizes[SizeOf(op)] = true
 	}
 	if len(sizes) < 4 {

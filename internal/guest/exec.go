@@ -7,11 +7,12 @@ import (
 	"repro/internal/mem"
 )
 
-// State is the guest architectural state: eight general-purpose
-// registers, eight FP registers, the instruction pointer and the
-// condition-flags register.
+// State is the guest architectural state: the integer register file
+// (sized for the widest registered frontend; x86 uses the first eight,
+// RV32I all sixteen), eight FP registers, the instruction pointer and
+// the condition-flags register (always zero for flagless frontends).
 type State struct {
-	Regs  [NumRegs]uint32
+	Regs  [MaxGuestRegs]uint32
 	FRegs [NumFRegs]float64
 	EIP   uint32
 	Flags uint32
@@ -289,6 +290,61 @@ func stepDecoded(s *State, m mem.Memory, instp *Inst, res *StepResult) error {
 	case OpCvtFI:
 		s.Regs[inst.R1] = uint32(clampToI32(s.FRegs[inst.F2]))
 
+	case OpAdd3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]+s.Regs[inst.RB])
+	case OpSub3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]-s.Regs[inst.RB])
+	case OpAnd3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]&s.Regs[inst.RB])
+	case OpOr3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]|s.Regs[inst.RB])
+	case OpXor3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]^s.Regs[inst.RB])
+	case OpSll3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]<<(s.Regs[inst.RB]&31))
+	case OpSrl3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]>>(s.Regs[inst.RB]&31))
+	case OpSra3:
+		setRISC(s, inst.R1, uint32(int32(s.Regs[inst.R2])>>(s.Regs[inst.RB]&31)))
+	case OpSlt3:
+		setRISC(s, inst.R1, b2u(int32(s.Regs[inst.R2]) < int32(s.Regs[inst.RB])))
+	case OpSltu3:
+		setRISC(s, inst.R1, b2u(s.Regs[inst.R2] < s.Regs[inst.RB]))
+
+	case OpAddI3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]+uint32(inst.Imm))
+	case OpAndI3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]&uint32(inst.Imm))
+	case OpOrI3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]|uint32(inst.Imm))
+	case OpXorI3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]^uint32(inst.Imm))
+	case OpSllI3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]<<(uint32(inst.Imm)&31))
+	case OpSrlI3:
+		setRISC(s, inst.R1, s.Regs[inst.R2]>>(uint32(inst.Imm)&31))
+	case OpSraI3:
+		setRISC(s, inst.R1, uint32(int32(s.Regs[inst.R2])>>(uint32(inst.Imm)&31)))
+	case OpSltI3:
+		setRISC(s, inst.R1, b2u(int32(s.Regs[inst.R2]) < inst.Imm))
+	case OpSltuI3:
+		setRISC(s, inst.R1, b2u(s.Regs[inst.R2] < uint32(inst.Imm)))
+
+	case OpBcc:
+		if inst.Cond.EvalCmp(s.Regs[inst.R1], s.Regs[inst.R2]) {
+			next = next + uint32(inst.Imm)
+			res.Taken = true
+		}
+	case OpJal:
+		setRISC(s, inst.R1, next)
+		next = next + uint32(inst.Imm)
+		res.Taken = true
+	case OpJalr:
+		target := (s.Regs[inst.R2] + uint32(inst.Imm)) &^ 1
+		setRISC(s, inst.R1, next)
+		next = target
+		res.Taken = true
+
 	default:
 		return fmt.Errorf("guest: unimplemented opcode %s at eip=%#x", inst.Op, s.EIP)
 	}
@@ -307,6 +363,22 @@ func clampToI32(f float64) int32 {
 		return math.MinInt32
 	}
 	return int32(f)
+}
+
+// setRISC writes a RISC-family destination register, discarding writes
+// to the hardwired zero x0 — the one register-file rule the shared IR
+// carries for the RV32I frontend.
+func setRISC(s *State, r Reg, v uint32) {
+	if r != 0 {
+		s.Regs[r] = v
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func aluSrc(s *State, inst *Inst) uint32 {

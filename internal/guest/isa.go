@@ -1,13 +1,23 @@
-// Package guest defines the guest instruction-set architecture of the
-// co-designed processor: an x86-like CISC ISA with eight general-purpose
-// registers, a condition-flags register with x86 bit positions, a small
-// floating-point register file, variable-length instruction encodings,
-// and both direct and indirect control flow.
+// Package guest defines the guest-visible side of the co-designed
+// processor: a shared decoded instruction form (Inst) that every guest
+// frontend lowers into, the canonical architectural semantics over that
+// form (Step), and the pluggable ISA registry (see isaspec.go) through
+// which frontends supply decoding, encoding metadata and register-file
+// descriptions.
 //
-// The package provides the canonical architectural semantics (Step),
-// used both by the authoritative functional emulator (the "x86
-// component" of the simulation infrastructure) and as the reference
-// against which translations are verified by co-simulation.
+// Two frontends are in-tree. The original x86-like CISC ISA (this
+// file plus encode.go) has eight general-purpose registers, a
+// condition-flags register with x86 bit positions, a small
+// floating-point register file, variable-length encodings, and both
+// direct and indirect control flow. The RV32I frontend (rv32.go) has
+// sixteen integer registers with a hardwired-zero x0, fixed four-byte
+// encodings, and no flags register — conditional control flow is
+// compare-and-branch, decoded into the RISC-family opcodes below.
+//
+// The canonical semantics are used both by the authoritative
+// functional emulator (the reference component of the simulation
+// infrastructure) and as the reference against which translations are
+// verified by co-simulation.
 package guest
 
 import "fmt"
@@ -27,6 +37,11 @@ const (
 	EDI
 	NumRegs = 8
 )
+
+// MaxGuestRegs is the widest integer register file any registered
+// frontend exposes (RV32I's sixteen; x86 uses the first eight). State
+// and the optimizer's per-register tables are sized by it.
+const MaxGuestRegs = 16
 
 var regNames = [NumRegs]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
 
@@ -119,6 +134,27 @@ func (c Cond) Eval(flags uint32) bool {
 	panic(fmt.Sprintf("guest: invalid condition %d", c))
 }
 
+// EvalCmp evaluates the condition directly on two register values, the
+// compare-and-branch semantics of OpBcc. Only the six conditions RV32I
+// branches map to are defined (beq, bne, blt, bge, bltu, bgeu).
+func (c Cond) EvalCmp(a, b uint32) bool {
+	switch c {
+	case CondE:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondL:
+		return int32(a) < int32(b)
+	case CondGE:
+		return int32(a) >= int32(b)
+	case CondB:
+		return a < b
+	case CondAE:
+		return a >= b
+	}
+	panic(fmt.Sprintf("guest: condition %s has no compare-and-branch form", c))
+}
+
 // Negate returns the complementary condition.
 func (c Cond) Negate() Cond {
 	// Conditions are laid out in complementary pairs.
@@ -199,6 +235,37 @@ const (
 	OpCvtIF // f1 = float64(int32(r2))
 	OpCvtFI // r1 = int32(f2), truncated
 
+	// RISC-family opcodes (RV32I frontend). Three-operand, flagless:
+	// R1 = destination, R2 = first source, RB = second source (register
+	// forms) or Imm (immediate forms). Writes to register 0 are
+	// discarded (the hardwired zero). Appended after the x86 opcodes so
+	// the x86 encoding's opcode byte values — and every recorded trace —
+	// keep their numbering; they have no x86 encoding (see encode.go).
+	OpAdd3  // r1 = r2 + rb
+	OpSub3  // r1 = r2 - rb
+	OpAnd3  // r1 = r2 & rb
+	OpOr3   // r1 = r2 | rb
+	OpXor3  // r1 = r2 ^ rb
+	OpSll3  // r1 = r2 << (rb & 31)
+	OpSrl3  // r1 = r2 >> (rb & 31), logical
+	OpSra3  // r1 = r2 >> (rb & 31), arithmetic
+	OpSlt3  // r1 = int32(r2) < int32(rb)
+	OpSltu3 // r1 = r2 < rb, unsigned
+
+	OpAddI3  // r1 = r2 + imm
+	OpAndI3  // r1 = r2 & imm
+	OpOrI3   // r1 = r2 | imm
+	OpXorI3  // r1 = r2 ^ imm
+	OpSllI3  // r1 = r2 << (imm & 31)
+	OpSrlI3  // r1 = r2 >> (imm & 31), logical
+	OpSraI3  // r1 = r2 >> (imm & 31), arithmetic
+	OpSltI3  // r1 = int32(r2) < int32(imm)
+	OpSltuI3 // r1 = r2 < uint32(imm), unsigned
+
+	OpBcc  // compare-and-branch: if cond(r1, r2) then eip += rel (flagless)
+	OpJal  // r1 = return address; eip += rel
+	OpJalr // r1 = return address; eip = (r2 + imm) &^ 1
+
 	NumOps
 )
 
@@ -212,6 +279,9 @@ var opNames = [NumOps]string{
 	"push", "pop",
 	"jmp", "jcc", "jmpind", "call", "callind", "ret",
 	"fload", "fstore", "fmov", "fadd", "fsub", "fmul", "fdiv", "fcmp", "cvtif", "cvtfi",
+	"add3", "sub3", "and3", "or3", "xor3", "sll3", "srl3", "sra3", "slt3", "sltu3",
+	"addi3", "andi3", "ori3", "xori3", "slli3", "srli3", "srai3", "slti3", "sltui3",
+	"bcc", "jal", "jalr",
 }
 
 func (o Op) String() string {
@@ -239,7 +309,8 @@ type Inst struct {
 // IsBranch reports whether the instruction redirects control flow.
 func (i *Inst) IsBranch() bool {
 	switch i.Op {
-	case OpJmp, OpJcc, OpJmpInd, OpCallRel, OpCallInd, OpRet:
+	case OpJmp, OpJcc, OpJmpInd, OpCallRel, OpCallInd, OpRet,
+		OpBcc, OpJal, OpJalr:
 		return true
 	}
 	return false
@@ -249,14 +320,15 @@ func (i *Inst) IsBranch() bool {
 // execution time (register-indirect jumps, indirect calls, returns).
 func (i *Inst) IsIndirectBranch() bool {
 	switch i.Op {
-	case OpJmpInd, OpCallInd, OpRet:
+	case OpJmpInd, OpCallInd, OpRet, OpJalr:
 		return true
 	}
 	return false
 }
 
-// IsCondBranch reports whether the instruction is a conditional branch.
-func (i *Inst) IsCondBranch() bool { return i.Op == OpJcc }
+// IsCondBranch reports whether the instruction is a conditional branch
+// — flags-based (OpJcc) or compare-and-branch (OpBcc).
+func (i *Inst) IsCondBranch() bool { return i.Op == OpJcc || i.Op == OpBcc }
 
 // EndsBlock reports whether the instruction terminates a basic block.
 func (i *Inst) EndsBlock() bool { return i.IsBranch() || i.Op == OpHalt }
@@ -344,6 +416,16 @@ func (i *Inst) String() string {
 		return fmt.Sprintf("cvtif %s, %s", i.F1, i.R2)
 	case OpCvtFI:
 		return fmt.Sprintf("cvtfi %s, %s", i.R1, i.F2)
+	case OpAdd3, OpSub3, OpAnd3, OpOr3, OpXor3, OpSll3, OpSrl3, OpSra3, OpSlt3, OpSltu3:
+		return fmt.Sprintf("%s x%d, x%d, x%d", i.Op, i.R1, i.R2, i.RB)
+	case OpAddI3, OpAndI3, OpOrI3, OpXorI3, OpSllI3, OpSrlI3, OpSraI3, OpSltI3, OpSltuI3:
+		return fmt.Sprintf("%s x%d, x%d, %d", i.Op, i.R1, i.R2, i.Imm)
+	case OpBcc:
+		return fmt.Sprintf("b%s x%d, x%d, %+d", i.Cond, i.R1, i.R2, i.Imm)
+	case OpJal:
+		return fmt.Sprintf("jal x%d, %+d", i.R1, i.Imm)
+	case OpJalr:
+		return fmt.Sprintf("jalr x%d, x%d, %d", i.R1, i.R2, i.Imm)
 	}
 	return i.Op.String()
 }

@@ -11,7 +11,12 @@ import (
 // in a register. The bit-pattern encoding round-trips every value
 // exactly, NaN payloads included.
 type stateJSON struct {
-	Regs      [NumRegs]uint32  `json:"regs"`
+	// Regs carries at most MaxGuestRegs elements; trailing zero
+	// registers are trimmed on encode (down to the x86 file size), so
+	// x86 states serialize exactly as they did before the register
+	// file was widened for 16-register frontends. Short arrays decode
+	// into the low slots and leave the rest zero.
+	Regs      []uint32         `json:"regs"`
 	FRegsBits [NumFRegs]uint64 `json:"fregs_bits"`
 	EIP       uint32           `json:"eip"`
 	Flags     uint32           `json:"flags"`
@@ -19,7 +24,11 @@ type stateJSON struct {
 
 // MarshalJSON implements json.Marshaler.
 func (s State) MarshalJSON() ([]byte, error) {
-	w := stateJSON{Regs: s.Regs, EIP: s.EIP, Flags: s.Flags}
+	n := MaxGuestRegs
+	for n > NumRegs && s.Regs[n-1] == 0 {
+		n--
+	}
+	w := stateJSON{Regs: s.Regs[:n:n], EIP: s.EIP, Flags: s.Flags}
 	for i, f := range s.FRegs {
 		w.FRegsBits[i] = math.Float64bits(f)
 	}
@@ -32,7 +41,12 @@ func (s *State) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &w); err != nil {
 		return err
 	}
-	s.Regs, s.EIP, s.Flags = w.Regs, w.EIP, w.Flags
+	if len(w.Regs) > MaxGuestRegs {
+		w.Regs = w.Regs[:MaxGuestRegs]
+	}
+	s.Regs = [MaxGuestRegs]uint32{}
+	copy(s.Regs[:], w.Regs)
+	s.EIP, s.Flags = w.EIP, w.Flags
 	for i, bits := range w.FRegsBits {
 		s.FRegs[i] = math.Float64frombits(bits)
 	}

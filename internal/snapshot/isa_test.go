@@ -1,0 +1,87 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/timing"
+	"repro/internal/tol"
+)
+
+func rv32LoopProgram(t *testing.T) *guest.Program {
+	t.Helper()
+	b := guest.NewRV32Builder()
+	b.Li(5, 300)
+	b.Label("loop")
+	b.Addi(6, 6, 3)
+	b.Xor(7, 6, 5)
+	b.Addi(5, 5, -1)
+	b.Blt(0, 5, "loop")
+	b.Ebreak()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEnvelopeRecordsISAAndRejectsMismatch checks the checkpoint
+// envelope carries the frontend it was taken under, survives the JSON
+// round trip, refuses restoration onto a program of another ISA, and
+// refuses envelopes tagged with an unregistered frontend.
+func TestEnvelopeRecordsISAAndRejectsMismatch(t *testing.T) {
+	p := rv32LoopProgram(t)
+	eng := tol.NewEngine(tol.DefaultConfig(), p)
+	var buf [64]timing.DynInst
+	for eng.NextBatch(buf[:]) > 0 {
+	}
+	if err := eng.Err(); err != nil || !eng.Halted() {
+		t.Fatalf("rv32 run: err=%v halted=%v", err, eng.Halted())
+	}
+
+	m, err := Capture("rv32-loop", eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ISA != "rv32" {
+		t.Fatalf("envelope records ISA %q, want rv32", m.ISA)
+	}
+	blob, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ISA != "rv32" {
+		t.Fatalf("JSON round trip dropped the ISA: %q", decoded.ISA)
+	}
+
+	// Restoring onto an x86 image must fail before any engine state is
+	// interpreted — decoding rv32 checkpoint PCs against x86 encodings
+	// would corrupt silently otherwise.
+	if _, _, err := decoded.Restore(fibProgram(10)); err == nil ||
+		!strings.Contains(err.Error(), `taken under ISA "rv32"`) {
+		t.Fatalf("cross-ISA restore: err = %v, want ISA mismatch rejection", err)
+	}
+
+	// Restoring onto the right ISA still works after the round trip.
+	eng2, _, err := decoded.Restore(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := eng2.GuestState().Diff(eng.GuestState()); d != "" {
+		t.Fatalf("restored state differs: %s", d)
+	}
+
+	// An envelope tagged with an unregistered frontend is rejected at
+	// validation, before Restore can misdecode anything.
+	bad := *decoded
+	bad.ISA = "z80"
+	if err := bad.Validate("rv32-loop"); err == nil ||
+		!strings.Contains(err.Error(), "z80") {
+		t.Fatalf("unregistered-ISA envelope accepted: %v", err)
+	}
+}

@@ -45,6 +45,13 @@ type Machine struct {
 	// Restore validates it when both sides carry one.
 	Program string `json:"program,omitempty"`
 
+	// ISA names the guest frontend the checkpoint was taken under,
+	// recorded in clear so tools can label checkpoints without decoding
+	// the engine state. Empty means x86 (pre-frontend envelopes);
+	// Restore rejects a program decoding under a different frontend
+	// before any engine state is interpreted.
+	ISA string `json:"isa,omitempty"`
+
 	// GuestInsts is the number of guest instructions retired at capture
 	// time, recorded in clear so tools can order and label checkpoints
 	// without decoding the engine state.
@@ -67,6 +74,7 @@ func Capture(program string, eng *tol.Engine, sim *timing.Simulator) (*Machine, 
 	m := &Machine{
 		Version:    Version,
 		Program:    program,
+		ISA:        esn.ISA,
 		GuestInsts: esn.GuestInsts(),
 		Engine:     esn,
 	}
@@ -89,6 +97,9 @@ func (m *Machine) Validate(program string) error {
 	if program != "" && m.Program != "" && program != m.Program {
 		return fmt.Errorf("snapshot: checkpoint of program %s cannot restore program %s", m.Program, program)
 	}
+	if _, err := guest.LookupISA(m.ISA); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
 	return nil
 }
 
@@ -99,6 +110,11 @@ func (m *Machine) Validate(program string) error {
 func (m *Machine) Restore(p *guest.Program) (*tol.Engine, *timing.Simulator, error) {
 	if err := m.Validate(""); err != nil {
 		return nil, nil, err
+	}
+	if isa, err := guest.ISAOf(p); err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	} else if m.ISA != "" && isa.Name != m.ISA {
+		return nil, nil, fmt.Errorf("snapshot: checkpoint taken under ISA %q cannot restore a %q program", m.ISA, isa.Name)
 	}
 	eng, err := tol.RestoreEngine(p, m.Engine)
 	if err != nil {

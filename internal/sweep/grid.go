@@ -46,6 +46,11 @@ type Knobs struct {
 	// Mode selects the timing-simulator stream mode ("shared",
 	// "app-only", "tol-only", "split").
 	Mode string `json:"mode,omitempty"`
+	// ISA pins the cell to one guest frontend ("x86" or "rv32") —
+	// darco.WithISA semantics — and redirects synthetic-catalog
+	// workload references to that frontend's catalog source, so an ISA
+	// axis sweeps the same benchmark name across frontends.
+	ISA string `json:"isa,omitempty"`
 	// OptLevel selects an optimization preset 0..3 (nil = keep; 0
 	// disables SBM), Passes an explicit pipeline, Promote the
 	// tier-promotion policy — darco.ApplyPipelineFlags semantics.
@@ -99,6 +104,9 @@ func (k *Knobs) apply(cfg *darco.Config) error {
 			return err
 		}
 		cfg.Mode = m
+	}
+	if k.ISA != "" {
+		cfg.ISA = k.ISA
 	}
 	if k.Cosim != nil {
 		cfg.TOL.Cosim = *k.Cosim
@@ -405,6 +413,22 @@ func (g *Grid) knobsFor(cell Cell) []*Knobs {
 		}
 	}
 	return ks
+}
+
+// isaFor resolves the effective ISA of one cell by folding the knob
+// deltas in apply order (base configuration, grid base, then the
+// coordinates' values), mirroring what JobFor's Config.ISA ends up as.
+func (g *Grid) isaFor(base darco.Config, cell Cell) string {
+	isa := base.ISA
+	if g.Base != nil && g.Base.ISA != "" {
+		isa = g.Base.ISA
+	}
+	for _, co := range cell.Coords {
+		if v := g.value(co.Axis, co.Value); v != nil && v.ISA != "" {
+			isa = v.ISA
+		}
+	}
+	return isa
 }
 
 // baselineCoords returns the declared baseline cell's coordinates in

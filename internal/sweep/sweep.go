@@ -109,10 +109,15 @@ func RunOn(ctx context.Context, sess *darco.Session, g *Grid, opts Options) (*Re
 		base = *opts.Config
 	}
 
-	// Resolve and scale each distinct workload reference once; a
-	// broken reference fails the sweep before any cell simulates.
+	// Resolve and scale each distinct effective workload reference once
+	// (an ISA knob redirects synthetic references to that frontend's
+	// catalog, so one grid reference can resolve differently per cell);
+	// a broken reference fails the sweep before any cell simulates.
 	progs := map[string]workload.Program{}
-	for _, ref := range g.Workloads {
+	open := func(ref string) (workload.Program, error) {
+		if p, ok := progs[ref]; ok {
+			return p, nil
+		}
 		p, err := workload.Open(ref)
 		if err != nil {
 			return nil, err
@@ -121,13 +126,18 @@ func RunOn(ctx context.Context, sess *darco.Session, g *Grid, opts Options) (*Re
 			return nil, err
 		}
 		progs[ref] = p
+		return p, nil
 	}
 
 	rows := make([]Row, len(cells))
 	jobs := make([]darco.Job, len(cells))
 	for i, cell := range cells {
-		p := progs[cell.Workload]
-		j, err := JobFor(p, cell.Workload, g.Scale, base, g.knobsFor(cell)...)
+		ref := workload.RefForISA(cell.Workload, g.isaFor(base, cell))
+		p, err := open(ref)
+		if err != nil {
+			return nil, err
+		}
+		j, err := JobFor(p, ref, g.Scale, base, g.knobsFor(cell)...)
 		if err != nil {
 			return nil, err
 		}

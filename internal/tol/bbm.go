@@ -38,6 +38,8 @@ func (b *decodedBB) terminator() *guest.Inst {
 // into each BBM block's profiling instrumentation.
 type Translator struct {
 	cfg      *Config
+	isa      *guest.ISA
+	plan     *regPlan
 	pipeline []Pass
 	policy   PromotionPolicy
 	cc       *CodeCache
@@ -59,28 +61,35 @@ type Work struct {
 	TableProbes  []uint32     // translation-table slots touched
 }
 
-// NewTranslator wires a translator to the TOL services, resolving the
-// configured optimization pipeline. The promotion policy instance is
-// shared with the engine so stateful policies see every promotion.
-func NewTranslator(cfg *Config, policy PromotionPolicy, cc *CodeCache, tt *TransTable, prof *ProfileTable, g mem.Memory) (*Translator, error) {
+// NewTranslator wires a translator to the TOL services for one guest
+// frontend, resolving the configured optimization pipeline and the
+// frontend's translation ABI. The promotion policy instance is shared
+// with the engine so stateful policies see every promotion.
+func NewTranslator(cfg *Config, isa *guest.ISA, policy PromotionPolicy, cc *CodeCache, tt *TransTable, prof *ProfileTable, g mem.Memory) (*Translator, error) {
 	pipeline, err := cfg.Pipeline()
 	if err != nil {
 		return nil, err
 	}
-	return &Translator{cfg: cfg, pipeline: pipeline, policy: policy,
-		cc: cc, tt: tt, prof: prof, guest: g}, nil
+	plan, err := planFor(isa)
+	if err != nil {
+		return nil, err
+	}
+	return &Translator{cfg: cfg, isa: isa, plan: plan, pipeline: pipeline,
+		policy: policy, cc: cc, tt: tt, prof: prof, guest: g}, nil
 }
 
-// decodeBB decodes the basic block starting at guest address entry.
+// decodeBB decodes the basic block starting at guest address entry,
+// through the frontend's decoder.
 func (t *Translator) decodeBB(entry uint32) (*decodedBB, error) {
 	bb := &decodedBB{entry: entry, term: -1}
 	pc := entry
-	var buf [guest.MaxInstSize]byte
+	var buf [8]byte
+	n := t.isa.MaxInstSize
 	for len(bb.insts) < maxBBInsts {
-		for i := range buf {
+		for i := 0; i < n; i++ {
 			buf[i] = t.guest.Read8(pc + uint32(i))
 		}
-		in, err := guest.Decode(buf[:])
+		in, err := t.isa.DecodeAt(buf[:n], pc)
 		if err != nil {
 			return nil, fmt.Errorf("tol: decode at %#x: %w", pc, err)
 		}
@@ -100,7 +109,7 @@ func (t *Translator) decodeBB(entry uint32) (*decodedBB, error) {
 // block terminator. ok is false for indirect terminators.
 func branchTarget(in *guest.Inst, instEnd uint32) (uint32, bool) {
 	switch in.Op {
-	case guest.OpJmp, guest.OpJcc, guest.OpCallRel:
+	case guest.OpJmp, guest.OpJcc, guest.OpCallRel, guest.OpBcc, guest.OpJal:
 		return instEnd + uint32(in.Imm), true
 	}
 	return 0, false
@@ -116,7 +125,7 @@ func (t *Translator) TranslateBB(entry uint32) (*Translation, error) {
 		return nil, err
 	}
 
-	e := newEmitter()
+	e := newEmitter(t.plan)
 	tr := &Translation{
 		Kind:       KindBB,
 		GuestEntry: entry,
@@ -211,6 +220,38 @@ func (t *Translator) emitTerminator(e *emitter, bb *decodedBB, retired int) int 
 		e.exitStub(&ExitInfo{Reason: ExitTaken, Retired: retired, GuestTarget: target})
 		return s
 
+	case guest.OpBcc:
+		// Flagless compare-and-branch: one host branch over the pinned
+		// registers replaces the condTest sequence.
+		target, _ := branchTarget(term, instEnd)
+		takenL := e.newLabel()
+		e.cmpBranch(term.Cond, term.R1, term.R2, true, takenL)
+		s := len(e.code)
+		e.exitStub(&ExitInfo{Reason: ExitFallthrough, Retired: retired, GuestTarget: instEnd})
+		e.define(takenL)
+		e.exitStub(&ExitInfo{Reason: ExitTaken, Retired: retired, GuestTarget: target})
+		return s
+
+	case guest.OpJal:
+		target, _ := branchTarget(term, instEnd)
+		if e.r(term.R1) != host.RZero {
+			e.loadImm(e.r(term.R1), instEnd) // link register
+		}
+		s := len(e.code)
+		e.exitStub(&ExitInfo{Reason: ExitTaken, Retired: retired, GuestTarget: target})
+		return s
+
+	case guest.OpJalr:
+		// Target into sc0 per the indirect-exit ABI, computed before
+		// the link write so jalr rd==rs1 reads the pre-link value.
+		e.emit(host.Inst{Op: host.Addi, Rd: sc0, Rs1: e.r(term.R2), Imm: term.Imm})
+		e.emit(host.Inst{Op: host.Andi, Rd: sc0, Rs1: sc0, Imm: -2})
+		if e.r(term.R1) != host.RZero {
+			e.loadImm(e.r(term.R1), instEnd)
+		}
+		e.emitIBTC(retired, t.cfg.EnableIBTC)
+		return -1
+
 	case guest.OpCallRel:
 		target, _ := branchTarget(term, instEnd)
 		t.emitPush(e, instEnd)
@@ -220,21 +261,21 @@ func (t *Translator) emitTerminator(e *emitter, bb *decodedBB, retired int) int 
 
 	case guest.OpCallInd:
 		// Read the target before pushing (the target register may be ESP).
-		e.mov(sc3, rG(term.R1))
+		e.mov(sc3, e.r(term.R1))
 		t.emitPush(e, instEnd)
 		e.mov(sc0, sc3)
 		e.emitIBTC(retired, t.cfg.EnableIBTC)
 		return -1
 
 	case guest.OpJmpInd:
-		e.mov(sc0, rG(term.R1))
+		e.mov(sc0, e.r(term.R1))
 		e.emitIBTC(retired, t.cfg.EnableIBTC)
 		return -1
 
 	case guest.OpRet:
-		e.emit(host.Inst{Op: host.Add, Rd: sc1, Rs1: host.RMemBase, Rs2: rG(guest.ESP)})
+		e.emit(host.Inst{Op: host.Add, Rd: sc1, Rs1: host.RMemBase, Rs2: e.r(guest.ESP)})
 		e.emit(host.Inst{Op: host.Ld, Rd: sc0, Rs1: sc1})
-		e.emit(host.Inst{Op: host.Addi, Rd: rG(guest.ESP), Rs1: rG(guest.ESP), Imm: 4})
+		e.emit(host.Inst{Op: host.Addi, Rd: e.r(guest.ESP), Rs1: e.r(guest.ESP), Imm: 4})
 		e.emitIBTC(retired, t.cfg.EnableIBTC)
 		return -1
 	}
@@ -244,7 +285,7 @@ func (t *Translator) emitTerminator(e *emitter, bb *decodedBB, retired int) int 
 // emitPush emits a push of a constant (the return address of a call).
 func (t *Translator) emitPush(e *emitter, value uint32) {
 	e.loadImm(sc1, value)
-	e.emit(host.Inst{Op: host.Addi, Rd: rG(guest.ESP), Rs1: rG(guest.ESP), Imm: -4})
-	e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: rG(guest.ESP)})
+	e.emit(host.Inst{Op: host.Addi, Rd: e.r(guest.ESP), Rs1: e.r(guest.ESP), Imm: -4})
+	e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: e.r(guest.ESP)})
 	e.emit(host.Inst{Op: host.St, Rs1: sc0, Rs2: sc1})
 }

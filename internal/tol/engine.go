@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/emu"
 	"repro/internal/guest"
 	"repro/internal/host"
 	"repro/internal/mem"
 	"repro/internal/timing"
-	"repro/internal/x86emu"
 )
 
 // Engine is the co-design component: the host CPU, the TOL services,
@@ -19,12 +19,19 @@ import (
 // code executed by the CPU, and TOL activity rendered by the cost
 // model — tagged with owner and component.
 //
-// When cosim is enabled an authoritative guest emulator (the x86
-// component) runs in lockstep; architectural state is compared at
-// every interpreted instruction and at every translation exit,
-// implementing the infrastructure's state-checking methodology.
+// When cosim is enabled an authoritative guest emulator (the reference
+// emulator for the program's frontend) runs in lockstep; architectural
+// state is compared at every interpreted instruction and at every
+// translation exit, implementing the infrastructure's state-checking
+// methodology.
 type Engine struct {
 	Cfg Config
+
+	// isa is the guest frontend the program declares; plan the
+	// frontend's translation ABI. Both are resolved at construction and
+	// immutable for the engine's lifetime.
+	isa  *guest.ISA
+	plan *regPlan
 
 	HostMem *mem.Sparse
 	CPU     *host.CPU
@@ -65,7 +72,7 @@ type Engine struct {
 	ctx       context.Context
 	ctxPollIn int
 
-	shadow   *x86emu.Emulator
+	shadow   *emu.Emulator
 	promoted map[uint32]*Translation
 	policy   PromotionPolicy
 
@@ -114,7 +121,6 @@ func NewEngine(cfg Config, p *guest.Program) *Engine {
 		IB:      NewIBTC(hm),
 		Prof:    NewProfileTable(hm),
 
-		dec:      guest.NewDecodeCache(),
 		promoted: make(map[uint32]*Translation),
 	}
 	e.guestMem = e.GuestV
@@ -122,6 +128,18 @@ func NewEngine(cfg Config, p *guest.Program) *Engine {
 		e.fail("%v", err)
 		return e
 	}
+	isa, err := guest.ISAOf(p)
+	if err != nil {
+		e.fail("tol: %v", err)
+		return e
+	}
+	plan, err := planFor(isa)
+	if err != nil {
+		e.fail("%v", err)
+		return e
+	}
+	e.isa, e.plan = isa, plan
+	e.dec = guest.NewDecodeCache(isa)
 	if e.Cfg.Cache.CapacityInsts > 0 {
 		evp, _ := e.Cfg.Cache.NewEvictionPolicy() // validated above
 		e.CC = NewBoundedCodeCache(e.Cfg.Cache, evp)
@@ -129,12 +147,11 @@ func NewEngine(cfg Config, p *guest.Program) *Engine {
 	e.CC.Link(e.TT, e.IB)
 	e.CC.OnEvict = e.onEvict
 	e.policy, _ = e.Cfg.NewPromotionPolicy() // validated above
-	e.Trans, _ = NewTranslator(&e.Cfg, e.policy, e.CC, e.TT, e.Prof, e.GuestV)
+	e.Trans, _ = NewTranslator(&e.Cfg, e.isa, e.policy, e.CC, e.TT, e.Prof, e.GuestV)
 	e.cost = newCostEmitter(&e.queue)
-	e.gs.EIP = p.Entry
-	e.gs.Regs[guest.ESP] = mem.GuestStackTop
+	e.isa.InitState(&e.gs, p.Entry)
 	if cfg.Cosim {
-		e.shadow = x86emu.New(p)
+		e.shadow = emu.New(p)
 	}
 	e.cost.Init()
 	return e
@@ -271,11 +288,12 @@ func (e *Engine) cancelErr(err error) {
 }
 
 // stateFromCPU reconstructs the guest architectural state from the
-// application half of the host register file.
+// application half of the host register file, per the frontend's
+// translation ABI.
 func (e *Engine) stateFromCPU(eip uint32) guest.State {
 	var s guest.State
-	for i := 0; i < guest.NumRegs; i++ {
-		s.Regs[i] = e.CPU.R[host.GuestReg(uint8(i))]
+	for i := 0; i < e.isa.NumRegs; i++ {
+		s.Regs[i] = e.CPU.R[e.plan.reg[i]]
 	}
 	s.Flags = e.CPU.R[host.RFlags]
 	for i := 0; i < guest.NumFRegs; i++ {
@@ -288,8 +306,11 @@ func (e *Engine) stateFromCPU(eip uint32) guest.State {
 // syncCPUFromState loads the guest state into the host registers per
 // the translation ABI.
 func (e *Engine) syncCPUFromState() {
-	for i := 0; i < guest.NumRegs; i++ {
-		e.CPU.R[host.GuestReg(uint8(i))] = e.gs.Regs[i]
+	for i := 0; i < e.isa.NumRegs; i++ {
+		if e.plan.reg[i] == host.RZero {
+			continue // the hardwired zero is not written (rv32 x0)
+		}
+		e.CPU.R[e.plan.reg[i]] = e.gs.Regs[i]
 	}
 	e.CPU.R[host.RFlags] = e.gs.Flags & guest.FlagsMask
 	for i := 0; i < guest.NumFRegs; i++ {

@@ -1,0 +1,66 @@
+package tol
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/host"
+)
+
+// regPlan is the per-frontend translation ABI: where each guest
+// integer register is pinned in the host register file, and which host
+// registers remain for the superblock optimizer's allocatable range.
+// The x86 plan is exactly the pre-refactor hard-coded ABI (r32..r39
+// for EAX..EDI, r40 for EFLAGS, r46..r63 allocatable), so x86
+// translations are byte-identical to the single-frontend translator.
+// The rv32 plan pins sixteen registers by spilling the upper half into
+// what x86 uses as allocatable space; x0 pins to the host's hardwired
+// zero, which makes discarded writes free in translated code.
+type regPlan struct {
+	isa *guest.ISA
+
+	// reg maps guest integer register -> pinned host register.
+	// Entries at or above isa.NumRegs are unused.
+	reg [guest.MaxGuestRegs]host.Reg
+
+	// allocFirst..allocLast are available to the superblock register
+	// allocator for caching memory values across guest instructions.
+	allocFirst, allocLast host.Reg
+}
+
+// r returns the pinned host register for guest register g.
+func (p *regPlan) r(g guest.Reg) host.Reg { return p.reg[g] }
+
+var x86Plan = func() *regPlan {
+	p := &regPlan{isa: guest.X86, allocFirst: allocFirst, allocLast: allocLast}
+	for i := 0; i < guest.NumRegs; i++ {
+		p.reg[i] = host.GuestReg(uint8(i))
+	}
+	return p
+}()
+
+var rv32Plan = func() *regPlan {
+	p := &regPlan{isa: guest.RV32}
+	p.reg[0] = host.RZero
+	for i := 1; i <= 8; i++ { // x1..x8 -> r32..r39
+		p.reg[i] = host.GuestReg(uint8(i - 1))
+	}
+	for i := 9; i < 16; i++ { // x9..x15 -> r46..r52
+		p.reg[i] = allocFirst + host.Reg(i-9)
+	}
+	p.allocFirst = allocFirst + 7 // r53
+	p.allocLast = allocLast       // r63
+	return p
+}()
+
+// planFor resolves the translation ABI for a frontend. Only frontends
+// with a plan can be translated; the engine checks at construction.
+func planFor(isa *guest.ISA) (*regPlan, error) {
+	switch isa {
+	case guest.X86:
+		return x86Plan, nil
+	case guest.RV32:
+		return rv32Plan, nil
+	}
+	return nil, fmt.Errorf("tol: no translation ABI for ISA %q", isa.Name)
+}

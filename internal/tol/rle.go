@@ -7,8 +7,8 @@ import (
 
 // Redundant-load elimination (the "rle" pass). Repeated loads of the
 // same (base register, displacement) slot inside a trace are cached in
-// the allocatable host registers r46..r63 — the CSE of the memory
-// pipeline. The pass runs after propagation and DCE (in the default
+// the frontend plan's allocatable host registers (r46..r63 for x86) —
+// the CSE of the memory pipeline. The pass runs after propagation and DCE (in the default
 // pipeline) over the surviving instructions, annotating each affected
 // load/store; emission consumes the annotations.
 //
@@ -43,7 +43,7 @@ func redundantLoadEliminate(p *tracePlan) int {
 	}
 
 	cache := map[slotKey]host.Reg{}
-	nextAlloc := allocFirst
+	nextAlloc := p.rp.allocFirst
 	eliminated := 0
 	invalidateAll := func() {
 		for k := range cache {
@@ -77,7 +77,7 @@ func redundantLoadEliminate(p *tracePlan) int {
 			if r, ok := cache[key]; ok {
 				ti.rlKind, ti.rlReg = rlUseLoad, r
 				eliminated++
-			} else if loadCounts[key] >= 2 && nextAlloc <= allocLast {
+			} else if loadCounts[key] >= 2 && nextAlloc <= p.rp.allocLast {
 				r := nextAlloc
 				nextAlloc++
 				ti.rlKind, ti.rlReg = rlAllocLoad, r

@@ -21,6 +21,8 @@ import (
 // Engine field → decision:
 //
 //	Cfg          captured  EngineSnapshot.Cfg (restore rebuilds from it)
+//	isa          captured  EngineSnapshot.ISA (restore rejects a mismatch)
+//	plan         rebuilt   derived from isa at construction
 //	HostMem      captured  EngineSnapshot.Mem (every touched page)
 //	CPU          captured  EngineSnapshot.CPU (R, F as IEEE-754 bits, PC)
 //	GuestV       rebuilt   view over the restored HostMem
@@ -251,6 +253,12 @@ type PromotedSnap struct {
 type EngineSnapshot struct {
 	Cfg Config `json:"config"`
 
+	// ISA is the guest frontend the snapshot was taken under. Restore
+	// rejects a program declaring a different frontend: the captured
+	// register file, code cache and shadow state are all ABI-specific.
+	// Empty in pre-frontend snapshots (implicitly x86).
+	ISA string `json:"isa,omitempty"`
+
 	Mem []PageSnap  `json:"mem"`
 	CPU CPUSnap     `json:"cpu"`
 	GS  guest.State `json:"guest_state"`
@@ -335,6 +343,7 @@ func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 	}
 	sn := &EngineSnapshot{
 		Cfg: e.Cfg,
+		ISA: e.isa.Name,
 		Mem: snapPages(e.HostMem),
 		CPU: CPUSnap{R: e.CPU.R, PC: e.CPU.PC},
 		GS:  e.gs,
@@ -512,6 +521,9 @@ func RestoreEngine(p *guest.Program, sn *EngineSnapshot) (*Engine, error) {
 	e := NewEngine(sn.Cfg, p)
 	if e.err != nil {
 		return nil, e.err
+	}
+	if sn.ISA != "" && sn.ISA != e.isa.Name {
+		return nil, fmt.Errorf("tol: snapshot taken under ISA %q cannot restore a %q program", sn.ISA, e.isa.Name)
 	}
 	if err := restorePages(e.HostMem, sn.Mem); err != nil {
 		return nil, err

@@ -18,6 +18,8 @@ import (
 func TestEngineFieldsHaveSnapshotDecision(t *testing.T) {
 	decisions := map[string]string{
 		"Cfg":          "captured",
+		"isa":          "captured",
+		"plan":         "rebuilt",
 		"HostMem":      "captured",
 		"CPU":          "captured",
 		"GuestV":       "rebuilt",

@@ -63,13 +63,14 @@ type tracePlan struct {
 	end       traceEnd
 	endTarget uint32 // for endJump
 	blocks    int
+	rp        *regPlan // the frontend's translation ABI (rle's alloc range)
 	code      *emitter // set once host code is sealed
 	fault     string   // active Config.Fault, consulted by faultable passes
 }
 
 // buildTrace forms the superblock trace starting at seed.
 func (t *Translator) buildTrace(seed uint32) (*tracePlan, error) {
-	plan := &tracePlan{seed: seed, fault: t.cfg.Fault}
+	plan := &tracePlan{seed: seed, rp: t.plan, fault: t.cfg.Fault}
 	visited := map[uint32]bool{}
 	cur := seed
 	for {
@@ -113,7 +114,7 @@ func (t *Translator) buildTrace(seed uint32) (*tracePlan, error) {
 				return plan, nil
 			}
 			cur = target
-		case guest.OpJcc:
+		case guest.OpJcc, guest.OpBcc:
 			target, _ := branchTarget(term, instEnd)
 			// Follow the hotter successor per the profile.
 			takenHotter := t.prof.Count(target) >= t.prof.Count(instEnd)
@@ -146,11 +147,11 @@ func (t *Translator) buildTrace(seed uint32) (*tracePlan, error) {
 // returning the instruction visits billed to the cost model and the
 // number of instructions newly folded or dropped.
 func constPropagate(p *tracePlan) (visits, eliminated int) {
-	var isConst [guest.NumRegs]bool
-	var constVal [guest.NumRegs]uint32
+	var isConst [guest.MaxGuestRegs]bool
+	var constVal [guest.MaxGuestRegs]uint32
 	// alias[r] = the register whose value r currently mirrors (copy
 	// propagation); alias[r] == r when none.
-	var alias [guest.NumRegs]guest.Reg
+	var alias [guest.MaxGuestRegs]guest.Reg
 	for r := range alias {
 		alias[r] = guest.Reg(r)
 	}
@@ -241,6 +242,16 @@ func constPropagate(p *tracePlan) (visits, eliminated int) {
 			}
 		case guest.OpPushR:
 			clobberReg(guest.ESP)
+		case guest.OpAdd3, guest.OpSub3, guest.OpAnd3, guest.OpOr3,
+			guest.OpXor3, guest.OpSll3, guest.OpSrl3, guest.OpSra3,
+			guest.OpSlt3, guest.OpSltu3,
+			guest.OpAddI3, guest.OpAndI3, guest.OpOrI3, guest.OpXorI3,
+			guest.OpSllI3, guest.OpSrlI3, guest.OpSraI3,
+			guest.OpSltI3, guest.OpSltuI3,
+			guest.OpJal, guest.OpJalr:
+			// RISC-family ops are not folded (flagless, three-operand);
+			// their destination writes still invalidate tracked values.
+			clobberReg(in.R1)
 		case guest.OpFCmp:
 			flagsKnown = false
 		case guest.OpJcc:
@@ -264,7 +275,7 @@ func constPropagate(p *tracePlan) (visits, eliminated int) {
 }
 
 // foldALU folds one ALU instruction when its operands are constant.
-func foldALU(ti *traceInst, isConst *[guest.NumRegs]bool, constVal *[guest.NumRegs]uint32,
+func foldALU(ti *traceInst, isConst *[guest.MaxGuestRegs]bool, constVal *[guest.MaxGuestRegs]uint32,
 	flagsKnown *bool, flagsVal *uint32, clobber func(guest.Reg)) int {
 	in := &ti.in
 	a := constVal[in.R1]
@@ -377,6 +388,13 @@ func pureDest(in *guest.Inst, ti *traceInst) (uint8, bool) {
 		// A load's memory read has no architectural side effect in this
 		// machine (no faults are modeled), so it is pure.
 		return uint8(in.R1), true
+	case guest.OpAdd3, guest.OpSub3, guest.OpAnd3, guest.OpOr3,
+		guest.OpXor3, guest.OpSll3, guest.OpSrl3, guest.OpSra3,
+		guest.OpSlt3, guest.OpSltu3,
+		guest.OpAddI3, guest.OpAndI3, guest.OpOrI3, guest.OpXorI3,
+		guest.OpSllI3, guest.OpSrlI3, guest.OpSraI3,
+		guest.OpSltI3, guest.OpSltuI3:
+		return uint8(in.R1), true
 	}
 	return 0, false
 }
@@ -410,6 +428,18 @@ func readRegs(in *guest.Inst, ti *traceInst) []guest.Reg {
 		return []guest.Reg{guest.ESP}
 	case guest.OpCallRel:
 		return []guest.Reg{guest.ESP}
+	case guest.OpAdd3, guest.OpSub3, guest.OpAnd3, guest.OpOr3,
+		guest.OpXor3, guest.OpSll3, guest.OpSrl3, guest.OpSra3,
+		guest.OpSlt3, guest.OpSltu3:
+		return []guest.Reg{in.R2, in.RB}
+	case guest.OpAddI3, guest.OpAndI3, guest.OpOrI3, guest.OpXorI3,
+		guest.OpSllI3, guest.OpSrlI3, guest.OpSraI3,
+		guest.OpSltI3, guest.OpSltuI3:
+		return []guest.Reg{in.R2}
+	case guest.OpBcc:
+		return []guest.Reg{in.R1, in.R2}
+	case guest.OpJalr:
+		return []guest.Reg{in.R2}
 	}
 	return nil
 }
@@ -467,7 +497,7 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 		}
 	}
 
-	e := newEmitter()
+	e := newEmitter(t.plan)
 	tr := &Translation{Kind: KindSB, GuestEntry: seed}
 
 	mat := planFlagsLiveness(plan)
@@ -503,7 +533,11 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 		switch {
 		case ti.sideExit:
 			l := e.newLabel()
-			e.condBranch(in.Cond, !ti.traceTaken, l)
+			if in.Op == guest.OpBcc {
+				e.cmpBranch(in.Cond, in.R1, in.R2, !ti.traceTaken, l)
+			} else {
+				e.condBranch(in.Cond, !ti.traceTaken, l)
+			}
 			stubs = append(stubs, sideStub{l, &ExitInfo{
 				Reason:      exitReasonForDir(!ti.traceTaken),
 				Retired:     retired,
@@ -511,7 +545,7 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 			}})
 
 		case ti.constDst:
-			e.loadImm(rG(in.R1), ti.constVal)
+			e.loadImm(e.r(in.R1), ti.constVal)
 			if ti.setFlags && mat[i] {
 				e.loadImm(host.RFlags, ti.flagsVal)
 			}
@@ -528,15 +562,15 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 					// rle's own invalidation guarantees neither the base
 					// register nor the slot changed since, so loading
 					// here is equivalent.
-					e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: rG(in.RB)})
+					e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: e.r(in.RB)})
 					e.emit(host.Inst{Op: host.Ld, Rd: ti.rlReg, Rs1: sc0, Imm: in.Imm})
 					rlFilled[ti.rlReg] = true
 				}
-				e.mov(rG(in.R1), ti.rlReg)
+				e.mov(e.r(in.R1), ti.rlReg)
 			case rlAllocLoad:
-				e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: rG(in.RB)})
+				e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: e.r(in.RB)})
 				e.emit(host.Inst{Op: host.Ld, Rd: ti.rlReg, Rs1: sc0, Imm: in.Imm})
-				e.mov(rG(in.R1), ti.rlReg)
+				e.mov(e.r(in.R1), ti.rlReg)
 				rlFilled[ti.rlReg] = true
 			default:
 				e.emitGuestInst(in, false)
@@ -546,7 +580,7 @@ func (t *Translator) BuildSuperblock(seed uint32) (*Translation, error) {
 			if ti.rlKind == rlStoreThrough {
 				// Exact-slot store: keep the register cache coherent
 				// (and filled — the stored value is the slot value).
-				e.mov(ti.rlReg, rG(in.R1))
+				e.mov(ti.rlReg, e.r(in.R1))
 				rlFilled[ti.rlReg] = true
 			}
 			e.emitGuestInst(in, false)

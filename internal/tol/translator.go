@@ -31,14 +31,16 @@ const (
 	allocLast  = host.RAllocEnd
 )
 
-func rG(r guest.Reg) host.Reg   { return host.GuestReg(uint8(r)) }
 func rF(f guest.FReg) host.FReg { return host.GuestFReg(uint8(f)) }
 
 // label identifies a forward-branch fixup target inside an emitter.
 type label int
 
-// emitter accumulates host code for one translation.
+// emitter accumulates host code for one translation. Guest registers
+// reach host registers through the frontend's regPlan, so the same
+// emitter body serves both ABIs.
 type emitter struct {
+	plan    *regPlan
 	code    []host.Inst
 	fixups  map[int]label // code index -> label of branch target
 	labels  map[label]int // label -> code index
@@ -46,13 +48,17 @@ type emitter struct {
 	exits   map[int]*ExitInfo // code index -> exit (on the branch there)
 }
 
-func newEmitter() *emitter {
+func newEmitter(plan *regPlan) *emitter {
 	return &emitter{
+		plan:   plan,
 		fixups: make(map[int]label),
 		labels: make(map[label]int),
 		exits:  make(map[int]*ExitInfo),
 	}
 }
+
+// r returns the pinned host register for guest integer register g.
+func (e *emitter) r(g guest.Reg) host.Reg { return e.plan.r(g) }
 
 func (e *emitter) emit(i host.Inst) int {
 	e.code = append(e.code, i)
@@ -261,7 +267,7 @@ func (e *emitter) condBranch(c guest.Cond, taken bool, l label) {
 // guestAddr emits computation of the host window address for a guest
 // base register + displacement into rd.
 func (e *emitter) guestAddr(rd host.Reg, base guest.Reg, disp int32) (host.Reg, int32) {
-	e.emit(host.Inst{Op: host.Add, Rd: rd, Rs1: host.RMemBase, Rs2: rG(base)})
+	e.emit(host.Inst{Op: host.Add, Rd: rd, Rs1: host.RMemBase, Rs2: e.r(base)})
 	return rd, disp
 }
 
@@ -273,30 +279,30 @@ func (e *emitter) emitGuestInst(in *guest.Inst, matFlags bool) {
 	case guest.OpNop:
 		// No code.
 	case guest.OpMovRR:
-		e.mov(rG(in.R1), rG(in.R2))
+		e.mov(e.r(in.R1), e.r(in.R2))
 	case guest.OpMovRI:
-		e.loadImm(rG(in.R1), uint32(in.Imm))
+		e.loadImm(e.r(in.R1), uint32(in.Imm))
 	case guest.OpLea:
-		e.emit(host.Inst{Op: host.Addi, Rd: rG(in.R1), Rs1: rG(in.RB), Imm: in.Imm})
+		e.emit(host.Inst{Op: host.Addi, Rd: e.r(in.R1), Rs1: e.r(in.RB), Imm: in.Imm})
 
 	case guest.OpLoad:
 		r, d := e.guestAddr(sc0, in.RB, in.Imm)
-		e.emit(host.Inst{Op: host.Ld, Rd: rG(in.R1), Rs1: r, Imm: d})
+		e.emit(host.Inst{Op: host.Ld, Rd: e.r(in.R1), Rs1: r, Imm: d})
 	case guest.OpStore:
 		r, d := e.guestAddr(sc0, in.RB, in.Imm)
-		e.emit(host.Inst{Op: host.St, Rs1: r, Rs2: rG(in.R1), Imm: d})
+		e.emit(host.Inst{Op: host.St, Rs1: r, Rs2: e.r(in.R1), Imm: d})
 	case guest.OpLoadIdx, guest.OpStoreIdx:
 		if in.Scale > 1 {
-			e.emit(host.Inst{Op: host.Slli, Rd: sc0, Rs1: rG(in.RI), Imm: int32(log2u(in.Scale))})
-			e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: sc0, Rs2: rG(in.RB)})
+			e.emit(host.Inst{Op: host.Slli, Rd: sc0, Rs1: e.r(in.RI), Imm: int32(log2u(in.Scale))})
+			e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: sc0, Rs2: e.r(in.RB)})
 		} else {
-			e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: rG(in.RI), Rs2: rG(in.RB)})
+			e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: e.r(in.RI), Rs2: e.r(in.RB)})
 		}
 		e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: sc0, Rs2: host.RMemBase})
 		if in.Op == guest.OpLoadIdx {
-			e.emit(host.Inst{Op: host.Ld, Rd: rG(in.R1), Rs1: sc0, Imm: in.Imm})
+			e.emit(host.Inst{Op: host.Ld, Rd: e.r(in.R1), Rs1: sc0, Imm: in.Imm})
 		} else {
-			e.emit(host.Inst{Op: host.St, Rs1: sc0, Rs2: rG(in.R1), Imm: in.Imm})
+			e.emit(host.Inst{Op: host.St, Rs1: sc0, Rs2: e.r(in.R1), Imm: in.Imm})
 		}
 
 	case guest.OpAddRR, guest.OpSubRR, guest.OpCmpRR,
@@ -308,12 +314,12 @@ func (e *emitter) emitGuestInst(in *guest.Inst, matFlags bool) {
 		e.emitLogic(in, matFlags)
 
 	case guest.OpImulRR:
-		e.emit(host.Inst{Op: host.Mul, Rd: rG(in.R1), Rs1: rG(in.R1), Rs2: rG(in.R2)})
+		e.emit(host.Inst{Op: host.Mul, Rd: e.r(in.R1), Rs1: e.r(in.R1), Rs2: e.r(in.R2)})
 		if matFlags {
-			e.packSZ(rG(in.R1))
+			e.packSZ(e.r(in.R1))
 		}
 	case guest.OpDivRR:
-		e.emit(host.Inst{Op: host.Div, Rd: rG(in.R1), Rs1: rG(in.R1), Rs2: rG(in.R2)})
+		e.emit(host.Inst{Op: host.Div, Rd: e.r(in.R1), Rs1: e.r(in.R1), Rs2: e.r(in.R2)})
 
 	case guest.OpIncR, guest.OpDecR:
 		isDec := in.Op == guest.OpDecR
@@ -324,15 +330,15 @@ func (e *emitter) emitGuestInst(in *guest.Inst, matFlags bool) {
 		if matFlags {
 			e.emit(host.Inst{Op: host.Andi, Rd: sc2, Rs1: host.RFlags, Imm: int32(guest.FlagCF)})
 		}
-		e.emit(host.Inst{Op: host.Addi, Rd: rG(in.R1), Rs1: rG(in.R1), Imm: imm})
+		e.emit(host.Inst{Op: host.Addi, Rd: e.r(in.R1), Rs1: e.r(in.R1), Imm: imm})
 		if matFlags {
-			e.flagsIncDec(rG(in.R1), sc2, isDec)
+			e.flagsIncDec(e.r(in.R1), sc2, isDec)
 		}
 	case guest.OpNegR:
 		if matFlags {
-			e.mov(sc2, rG(in.R1)) // old value
+			e.mov(sc2, e.r(in.R1)) // old value
 		}
-		e.emit(host.Inst{Op: host.Sub, Rd: rG(in.R1), Rs1: host.RZero, Rs2: rG(in.R1)})
+		e.emit(host.Inst{Op: host.Sub, Rd: e.r(in.R1), Rs1: host.RZero, Rs2: e.r(in.R1)})
 		if matFlags {
 			// CF = old != 0; OF = old == 0x80000000. Reuse the arith
 			// packer with b=0: old^0 = old gives exactly the NEG
@@ -345,15 +351,15 @@ func (e *emitter) emitGuestInst(in *guest.Inst, matFlags bool) {
 			e.emit(host.Inst{Op: host.Sltiu, Rd: sc3, Rs1: sc3, Imm: 1}) // OF
 			e.emit(host.Inst{Op: host.Slli, Rd: sc3, Rs1: sc3, Imm: 11})
 			e.emit(host.Inst{Op: host.Or, Rd: sc1, Rs1: sc1, Rs2: sc3})
-			e.emit(host.Inst{Op: host.Sltiu, Rd: sc3, Rs1: rG(in.R1), Imm: 1}) // ZF
+			e.emit(host.Inst{Op: host.Sltiu, Rd: sc3, Rs1: e.r(in.R1), Imm: 1}) // ZF
 			e.emit(host.Inst{Op: host.Slli, Rd: sc3, Rs1: sc3, Imm: 6})
 			e.emit(host.Inst{Op: host.Or, Rd: sc1, Rs1: sc1, Rs2: sc3})
-			e.emit(host.Inst{Op: host.Srli, Rd: sc3, Rs1: rG(in.R1), Imm: 31}) // SF
+			e.emit(host.Inst{Op: host.Srli, Rd: sc3, Rs1: e.r(in.R1), Imm: 31}) // SF
 			e.emit(host.Inst{Op: host.Slli, Rd: sc3, Rs1: sc3, Imm: 7})
 			e.emit(host.Inst{Op: host.Or, Rd: host.RFlags, Rs1: sc1, Rs2: sc3})
 		}
 	case guest.OpNotR:
-		e.emit(host.Inst{Op: host.Xori, Rd: rG(in.R1), Rs1: rG(in.R1), Imm: -1})
+		e.emit(host.Inst{Op: host.Xori, Rd: e.r(in.R1), Rs1: e.r(in.R1), Imm: -1})
 
 	case guest.OpShlRI, guest.OpShrRI, guest.OpSarRI:
 		count := uint32(in.Imm) & 31
@@ -371,22 +377,22 @@ func (e *emitter) emitGuestInst(in *guest.Inst, matFlags bool) {
 			op, cfShift = host.Srai, int32(count-1)
 		}
 		if matFlags {
-			e.emit(host.Inst{Op: host.Srli, Rd: sc2, Rs1: rG(in.R1), Imm: cfShift})
+			e.emit(host.Inst{Op: host.Srli, Rd: sc2, Rs1: e.r(in.R1), Imm: cfShift})
 			e.emit(host.Inst{Op: host.Andi, Rd: sc2, Rs1: sc2, Imm: 1})
 		}
-		e.emit(host.Inst{Op: op, Rd: rG(in.R1), Rs1: rG(in.R1), Imm: int32(count)})
+		e.emit(host.Inst{Op: op, Rd: e.r(in.R1), Rs1: e.r(in.R1), Imm: int32(count)})
 		if matFlags {
-			e.flagsShift(rG(in.R1), sc2)
+			e.flagsShift(e.r(in.R1), sc2)
 		}
 
 	case guest.OpPushR:
-		e.emit(host.Inst{Op: host.Addi, Rd: rG(guest.ESP), Rs1: rG(guest.ESP), Imm: -4})
-		e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: rG(guest.ESP)})
-		e.emit(host.Inst{Op: host.St, Rs1: sc0, Rs2: rG(in.R1)})
+		e.emit(host.Inst{Op: host.Addi, Rd: e.r(guest.ESP), Rs1: e.r(guest.ESP), Imm: -4})
+		e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: e.r(guest.ESP)})
+		e.emit(host.Inst{Op: host.St, Rs1: sc0, Rs2: e.r(in.R1)})
 	case guest.OpPopR:
-		e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: rG(guest.ESP)})
-		e.emit(host.Inst{Op: host.Ld, Rd: rG(in.R1), Rs1: sc0})
-		e.emit(host.Inst{Op: host.Addi, Rd: rG(guest.ESP), Rs1: rG(guest.ESP), Imm: 4})
+		e.emit(host.Inst{Op: host.Add, Rd: sc0, Rs1: host.RMemBase, Rs2: e.r(guest.ESP)})
+		e.emit(host.Inst{Op: host.Ld, Rd: e.r(in.R1), Rs1: sc0})
+		e.emit(host.Inst{Op: host.Addi, Rd: e.r(guest.ESP), Rs1: e.r(guest.ESP), Imm: 4})
 
 	case guest.OpFLoad:
 		r, d := e.guestAddr(sc0, in.RB, in.Imm)
@@ -420,13 +426,118 @@ func (e *emitter) emitGuestInst(in *guest.Inst, matFlags bool) {
 			e.emit(host.Inst{Op: host.Or, Rd: host.RFlags, Rs1: sc1, Rs2: sc2})
 		}
 	case guest.OpCvtIF:
-		e.emit(host.Inst{Op: host.FCvtIF, Rd: host.Reg(rF(in.F1)), Rs1: rG(in.R2)})
+		e.emit(host.Inst{Op: host.FCvtIF, Rd: host.Reg(rF(in.F1)), Rs1: e.r(in.R2)})
 	case guest.OpCvtFI:
-		e.emit(host.Inst{Op: host.FCvtFI, Rd: rG(in.R1), Rs1: host.Reg(rF(in.F2))})
+		e.emit(host.Inst{Op: host.FCvtFI, Rd: e.r(in.R1), Rs1: host.Reg(rF(in.F2))})
+
+	case guest.OpAdd3, guest.OpSub3, guest.OpAnd3, guest.OpOr3,
+		guest.OpXor3, guest.OpSll3, guest.OpSrl3, guest.OpSra3,
+		guest.OpSlt3, guest.OpSltu3:
+		// Flagless three-operand ALU: 1:1 with the host ISA. A
+		// hardwired-zero destination pins to host r0, whose writes the
+		// CPU discards, so no special casing is needed.
+		e.emit(host.Inst{Op: riscRROp(in.Op), Rd: e.r(in.R1), Rs1: e.r(in.R2), Rs2: e.r(in.RB)})
+
+	case guest.OpAddI3, guest.OpAndI3, guest.OpXorI3, guest.OpSllI3,
+		guest.OpSrlI3, guest.OpSraI3, guest.OpSltI3, guest.OpSltuI3:
+		e.emit(host.Inst{Op: riscRIOp(in.Op), Rd: e.r(in.R1), Rs1: e.r(in.R2), Imm: in.Imm})
+	case guest.OpOrI3:
+		// The host Ori zero-extends a 16-bit immediate, which matches
+		// the guest's sign-extended imm12 only when non-negative.
+		if in.Imm >= 0 {
+			e.emit(host.Inst{Op: host.Ori, Rd: e.r(in.R1), Rs1: e.r(in.R2), Imm: in.Imm})
+		} else {
+			e.loadImm(sc1, uint32(in.Imm))
+			e.emit(host.Inst{Op: host.Or, Rd: e.r(in.R1), Rs1: e.r(in.R2), Rs2: sc1})
+		}
 
 	default:
 		panic(fmt.Sprintf("tol: emitGuestInst on control-flow op %s", in.Op))
 	}
+}
+
+// riscRROp maps a flagless register-register guest opcode to its host
+// counterpart.
+func riscRROp(op guest.Op) host.Op {
+	switch op {
+	case guest.OpAdd3:
+		return host.Add
+	case guest.OpSub3:
+		return host.Sub
+	case guest.OpAnd3:
+		return host.And
+	case guest.OpOr3:
+		return host.Or
+	case guest.OpXor3:
+		return host.Xor
+	case guest.OpSll3:
+		return host.Sll
+	case guest.OpSrl3:
+		return host.Srl
+	case guest.OpSra3:
+		return host.Sra
+	case guest.OpSlt3:
+		return host.Slt
+	case guest.OpSltu3:
+		return host.Sltu
+	}
+	panic(fmt.Sprintf("tol: riscRROp on %s", op))
+}
+
+// riscRIOp maps a flagless register-immediate guest opcode to its host
+// counterpart (OpOrI3 excepted — see emitGuestInst).
+func riscRIOp(op guest.Op) host.Op {
+	switch op {
+	case guest.OpAddI3:
+		return host.Addi
+	case guest.OpAndI3:
+		return host.Andi
+	case guest.OpXorI3:
+		return host.Xori
+	case guest.OpSllI3:
+		return host.Slli
+	case guest.OpSrlI3:
+		return host.Srli
+	case guest.OpSraI3:
+		return host.Srai
+	case guest.OpSltI3:
+		return host.Slti
+	case guest.OpSltuI3:
+		return host.Sltiu
+	}
+	panic(fmt.Sprintf("tol: riscRIOp on %s", op))
+}
+
+// bccHostOps maps a compare-and-branch condition to the host branch
+// opcode testing it and the opcode testing its complement.
+func bccHostOps(c guest.Cond) (taken, notTaken host.Op) {
+	switch c {
+	case guest.CondE:
+		return host.Beq, host.Bne
+	case guest.CondNE:
+		return host.Bne, host.Beq
+	case guest.CondL:
+		return host.Blt, host.Bge
+	case guest.CondGE:
+		return host.Bge, host.Blt
+	case guest.CondB:
+		return host.Bltu, host.Bgeu
+	case guest.CondAE:
+		return host.Bgeu, host.Bltu
+	}
+	panic(fmt.Sprintf("tol: bccHostOps on condition %d", c))
+}
+
+// cmpBranch emits a compare-and-branch over two pinned guest registers
+// to label l, branching when condition c holds (taken) or does not.
+// The flagless counterpart of condBranch.
+func (e *emitter) cmpBranch(c guest.Cond, r1, r2 guest.Reg, taken bool, l label) {
+	tk, nt := bccHostOps(c)
+	op := tk
+	if !taken {
+		op = nt
+	}
+	e.branch(op, e.r(r1), e.r(r2), l)
 }
 
 func (e *emitter) emitFPArith(op host.Op, in *guest.Inst) {
@@ -447,7 +558,7 @@ func (e *emitter) emitArith(in *guest.Inst, matFlags bool) {
 	if immForm {
 		if !matFlags {
 			// Cheap path: no flags, use immediate ALU.
-			dst := rG(in.R1)
+			dst := e.r(in.R1)
 			if isCmp {
 				return // compare with dead flags is a complete no-op
 			}
@@ -464,10 +575,10 @@ func (e *emitter) emitArith(in *guest.Inst, matFlags bool) {
 		if isCmp && !matFlags {
 			return
 		}
-		bReg = rG(in.R2)
+		bReg = e.r(in.R2)
 	}
 
-	dst := rG(in.R1)
+	dst := e.r(in.R1)
 	hop := host.Add
 	if isSub {
 		hop = host.Sub
@@ -542,7 +653,7 @@ func (e *emitter) emitLogic(in *guest.Inst, matFlags bool) {
 	}
 	isTest := in.Op == guest.OpTestRR
 	immForm := in.Op == guest.OpAndRI || in.Op == guest.OpOrRI || in.Op == guest.OpXorRI
-	dst := rG(in.R1)
+	dst := e.r(in.R1)
 	res := dst
 	if isTest {
 		if !matFlags {
@@ -561,7 +672,7 @@ func (e *emitter) emitLogic(in *guest.Inst, matFlags bool) {
 			e.emit(host.Inst{Op: hopi, Rd: res, Rs1: dst, Imm: in.Imm})
 		}
 	} else {
-		e.emit(host.Inst{Op: hop, Rd: res, Rs1: dst, Rs2: rG(in.R2)})
+		e.emit(host.Inst{Op: hop, Rd: res, Rs1: dst, Rs2: e.r(in.R2)})
 	}
 	if matFlags {
 		e.packSZ(res)

@@ -251,7 +251,7 @@ func TestSchedulerPreservesSemantics(t *testing.T) {
 }
 
 func TestSchedulerKeepsBranchPositions(t *testing.T) {
-	e := newEmitter()
+	e := newEmitter(x86Plan)
 	e.emit(host.Inst{Op: host.Addi, Rd: 1, Rs1: 1, Imm: 1})
 	e.emit(host.Inst{Op: host.Ld, Rd: 2, Rs1: 1})
 	e.emit(host.Inst{Op: host.Addi, Rd: 3, Rs1: 2, Imm: 1})
@@ -429,7 +429,7 @@ func TestSuperblockStoreLoadCoherence(t *testing.T) {
 }
 
 func TestEmitterSealUnresolvedLabel(t *testing.T) {
-	e := newEmitter()
+	e := newEmitter(x86Plan)
 	l := e.newLabel()
 	e.branch(host.Beq, 1, 2, l)
 	if err := e.seal(0x4000000); err == nil {

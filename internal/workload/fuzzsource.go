@@ -35,7 +35,7 @@ const fuzzMaxDyn = 500_000
 // FuzzProfiles lists the generation biases accepted by GenSpec and the
 // fuzz: reference form.
 func FuzzProfiles() []string {
-	return []string{"mixed", "hot", "indirect", "mem", "shift", "tiny"}
+	return []string{"mixed", "hot", "indirect", "mem", "shift", "tiny", "rv32"}
 }
 
 // GenSpec deterministically generates a valid benchmark spec from a
@@ -168,6 +168,33 @@ func GenSpec(seed int64, profile string) (Spec, error) {
 		s.FPFrac, s.MemFrac, s.BranchFrac = fracs(r, 0.5)
 		s.Footprint = 1 << 10
 		s.Stride = 4
+
+	case "rv32":
+		// The mixed ranges retargeted to the RV32I frontend: same
+		// structural coverage (threshold-straddling loops, dispatchers,
+		// irregular memory) minus FP, which RV32I does not have. Keeping
+		// the shapes aligned with "mixed" lets the differential oracle
+		// compare tier behaviour across frontends on like programs.
+		s.ISA = "rv32"
+		s.HotKernels = r.Intn(5)
+		s.KernelLen = 4 + r.Intn(40)
+		s.KernelIter = nearThreshold(r)
+		s.OuterIters = 1 + r.Intn(8)
+		s.ColdBlocks = r.Intn(12)
+		s.ColdLen = 4 + r.Intn(40)
+		s.WarmBlocks = r.Intn(8)
+		s.WarmLen = 4 + r.Intn(30)
+		s.WarmIters = r.Intn(12)
+		if r.Intn(2) == 0 {
+			s.Fanout = 1 + r.Intn(64)
+			s.DispatchIters = 1 + r.Intn(150)
+			s.CaseCalls = r.Intn(2) == 0
+		}
+		s.UseCalls = r.Intn(2) == 0
+		s.Irregular = r.Intn(3) == 0
+		_, s.MemFrac, s.BranchFrac = fracs(r, 0.8)
+		s.Footprint = pow2(r, 10, 23)
+		s.Stride = pow2(r, 2, 9)
 
 	default:
 		return Spec{}, fmt.Errorf("workload: unknown fuzz profile %q (want %s)",

@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/x86emu"
+	"repro/internal/emu"
 )
 
 func TestGenSpecDeterministicAndValid(t *testing.T) {
@@ -61,7 +61,7 @@ func TestFuzzGeneratedSpecsRun(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: build: %v", s.Name, err)
 			}
-			e := x86emu.New(p)
+			e := emu.New(p)
 			if err := e.Run(50_000_000); err != nil {
 				t.Fatalf("%s: %v", s.Name, err)
 			}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+)
+
+// TestMetaJSONRoundTripISA pins the interchange shape of Meta around
+// the ISA field: it round-trips losslessly, and the empty (x86) value
+// is omitted so pre-frontend serialized metadata stays byte-identical.
+func TestMetaJSONRoundTripISA(t *testing.T) {
+	for _, m := range []Meta{
+		{Source: "synthetic", Suite: "int", Phases: 1},
+		{Source: "rv32", Suite: "int", Phases: 1, ISA: "rv32"},
+		{Source: "trace", Phases: 1, ISA: "rv32"},
+	} {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Meta
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip of %+v yielded %+v (json %s)", m, got, b)
+		}
+		if m.ISA == "" && bytes.Contains(b, []byte("isa")) {
+			t.Errorf("x86 Meta grew an isa key: %s", b)
+		}
+		if m.ISA != "" && !bytes.Contains(b, []byte(`"isa":"rv32"`)) {
+			t.Errorf("rv32 Meta lost its isa key: %s", b)
+		}
+	}
+}
+
+// TestTraceRecordsAndReplaysISA records an RV32I program, round-trips
+// the trace envelope through JSON, and checks the frontend tag
+// survives all the way to the replayed image.
+func TestTraceRecordsAndReplaysISA(t *testing.T) {
+	p, err := Open("rv32:998.specrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ISA != "rv32" {
+		t.Fatalf("recorded trace carries ISA %q, want rv32", tr.ISA)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.ISA != "rv32" {
+		t.Fatalf("trace round trip dropped the ISA: %q", rt.ISA)
+	}
+	replay := rt.Program()
+	if got := replay.Meta().ISA; got != "rv32" {
+		t.Fatalf("replay program Meta().ISA = %q", got)
+	}
+	img, err := replay.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	isa, err := guest.ISAOf(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isa.Name != "rv32" {
+		t.Fatalf("replayed image decodes under %q", isa.Name)
+	}
+}
+
+// TestTraceRejectsUnknownISA: a trace tagged with an unregistered
+// frontend must be refused at validation — replaying it would decode
+// the image under the wrong instruction set.
+func TestTraceRejectsUnknownISA(t *testing.T) {
+	p, err := Open("synthetic:998.specrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("x86 trace invalid: %v", err)
+	}
+	tr.ISA = "z80"
+	err = tr.Validate()
+	if err == nil || !strings.Contains(err.Error(), "z80") {
+		t.Fatalf("unregistered-ISA trace accepted: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err == nil {
+		// WriteTrace may or may not validate; ReadTrace must.
+		if _, err := ReadTrace(&buf); err == nil {
+			t.Fatal("ReadTrace accepted a trace tagged with an unregistered ISA")
+		}
+	}
+}
+
+// TestRV32CatalogDecodesUnderRV32 checks every starter-catalog entry
+// builds and its image decodes under the rv32 frontend.
+func TestRV32CatalogDecodesUnderRV32(t *testing.T) {
+	specs := RV32Catalog()
+	if len(specs) == 0 {
+		t.Fatal("empty RV32 catalog")
+	}
+	for _, s := range specs {
+		if s.ISA != "rv32" {
+			t.Fatalf("%s: catalog spec carries ISA %q", s.Name, s.ISA)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		img, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		isa, err := guest.ISAOf(img)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if isa.Name != "rv32" {
+			t.Fatalf("%s: image decodes under %q", s.Name, isa.Name)
+		}
+	}
+}
+
+// TestRV32SourceListAndErrors pins the rv32: source behaviour: List
+// enumerates the starter subset sorted, Open rejects names outside it
+// with a message naming the ported set, and the opened program's
+// fingerprint differs from the same name's x86 fingerprint (the
+// store-address property the session aliasing test relies on).
+func TestRV32SourceListAndErrors(t *testing.T) {
+	src, ok := LookupSource("rv32")
+	if !ok {
+		t.Fatal("rv32 source not registered")
+	}
+	lister, ok := src.(Lister)
+	if !ok {
+		t.Fatal("rv32 source does not enumerate its programs")
+	}
+	names := lister.List()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("rv32 list unsorted: %v", names)
+	}
+	if len(names) != len(RV32Catalog()) {
+		t.Fatalf("list has %d names, catalog %d", len(names), len(RV32Catalog()))
+	}
+	if _, err := Open("rv32:470.lbm"); err == nil {
+		t.Fatal("rv32 source opened an unported benchmark")
+	}
+	x86p, err := Open("synthetic:429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rvp, err := Open("rv32:429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(x86p) == Fingerprint(rvp) {
+		t.Fatal("x86 and rv32 ports of 429.mcf share a fingerprint")
+	}
+}
+
+// TestRefForISA pins the reference-redirection rules -isa is built on.
+func TestRefForISA(t *testing.T) {
+	for _, tc := range []struct{ ref, isa, want string }{
+		{"429.mcf", "", "429.mcf"},
+		{"429.mcf", "x86", "429.mcf"},
+		{"429.mcf", "rv32", "rv32:429.mcf"},
+		{"synthetic:429.mcf", "rv32", "rv32:429.mcf"},
+		{"trace:run.trace.json", "rv32", "trace:run.trace.json"},
+		{"fuzz:7/mixed", "rv32", "fuzz:7/mixed"},
+	} {
+		if got := RefForISA(tc.ref, tc.isa); got != tc.want {
+			t.Errorf("RefForISA(%q, %q) = %q, want %q", tc.ref, tc.isa, got, tc.want)
+		}
+	}
+}

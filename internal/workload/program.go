@@ -26,6 +26,10 @@ type Meta struct {
 	Source string `json:"source"`
 	Suite  string `json:"suite,omitempty"`
 	Phases int    `json:"phases,omitempty"`
+	// ISA names the guest frontend the program decodes under. Empty
+	// means x86 (the pre-frontend default), keeping older serialized
+	// metadata valid; consumers resolve it with guest.LookupISA.
+	ISA string `json:"isa,omitempty"`
 }
 
 // Program is a named, deterministic guest-program factory: building
@@ -127,6 +131,7 @@ func init() {
 	Register(traceSource{})
 	Register(phasedSource{})
 	Register(fuzzSource{})
+	Register(rv32Source{})
 }
 
 // Sources returns the registered scheme names, sorted.
@@ -153,6 +158,22 @@ func SplitRef(ref string) (scheme, name string) {
 		return ref[:i], ref[i+1:]
 	}
 	return DefaultSource, ref
+}
+
+// RefForISA maps a workload reference to the given frontend's catalog:
+// synthetic-catalog references (bare names included) are redirected to
+// the frontend's own source scheme, so "429.mcf" under ISA "rv32"
+// resolves to "rv32:429.mcf". Explicit non-catalog references (trace:,
+// file:, ...) pass through unchanged — they name a concrete program,
+// and the run's darco.Config ISA pin rejects any frontend mismatch.
+func RefForISA(ref, isa string) string {
+	if isa == "" || isa == "x86" {
+		return ref
+	}
+	if scheme, name := SplitRef(ref); scheme == DefaultSource {
+		return isa + ":" + name
+	}
+	return ref
 }
 
 // Open resolves a "<source>:<name>" workload reference through the
@@ -190,7 +211,7 @@ func (p SpecProgram) Meta() Meta {
 	if src == "" {
 		src = DefaultSource
 	}
-	return Meta{Source: src, Suite: p.Spec.Suite.String(), Phases: 1}
+	return Meta{Source: src, Suite: p.Spec.Suite.String(), Phases: 1, ISA: p.Spec.ISA}
 }
 
 // Build synthesizes the spec's guest program.

@@ -46,8 +46,13 @@ type Trace struct {
 	// preload keys as the original.
 	Name string `json:"name"`
 	// Source and Suite record the provenance of the recorded program.
-	Source     string     `json:"recorded_source,omitempty"`
-	Suite      string     `json:"suite,omitempty"`
+	Source string `json:"recorded_source,omitempty"`
+	Suite  string `json:"suite,omitempty"`
+	// ISA names the guest frontend the recorded image decodes under.
+	// Empty means x86, so traces recorded before the second frontend
+	// replay unchanged. Replay refuses a trace whose ISA is not
+	// registered — the image's encodings would be misdecoded.
+	ISA        string     `json:"isa,omitempty"`
 	Entry      uint32     `json:"entry"`
 	StaticInst int        `json:"static_inst"`
 	Code       []byte     `json:"code"`
@@ -66,6 +71,7 @@ func NewTrace(p Program) (*Trace, error) {
 		Name:       p.Name(),
 		Source:     meta.Source,
 		Suite:      meta.Suite,
+		ISA:        img.ISA,
 		Entry:      img.Entry,
 		StaticInst: img.StaticInst,
 		Code:       append([]byte(nil), img.Code...),
@@ -83,6 +89,9 @@ func (t *Trace) Validate() error {
 	}
 	if t.Name == "" {
 		return fmt.Errorf("workload: trace has no name")
+	}
+	if _, err := guest.LookupISA(t.ISA); err != nil {
+		return fmt.Errorf("workload: trace %s: %w (replay would misdecode the image)", t.Name, err)
 	}
 	if len(t.Code) == 0 || t.StaticInst <= 0 {
 		return fmt.Errorf("workload: trace %s has an empty code image", t.Name)
@@ -156,7 +165,7 @@ type traceProgram struct {
 func (p traceProgram) Name() string { return p.t.Name }
 
 func (p traceProgram) Meta() Meta {
-	return Meta{Source: "trace", Suite: p.t.Suite, Phases: 1}
+	return Meta{Source: "trace", Suite: p.t.Suite, Phases: 1, ISA: p.t.ISA}
 }
 
 // Fingerprint hashes the recorded image, so two traces sharing a
@@ -165,6 +174,11 @@ func (p traceProgram) Meta() Meta {
 func (p traceProgram) Fingerprint() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "trace|%x|%d|", p.t.Entry, p.t.StaticInst)
+	if p.t.ISA != "" {
+		// Folded in only when set so x86 traces (ISA empty) keep the
+		// fingerprints persisted stores already key on.
+		fmt.Fprintf(h, "isa=%s|", p.t.ISA)
+	}
 	h.Write(p.t.Code)
 	for _, seg := range p.t.Data {
 		fmt.Fprintf(h, "|%d:", seg.Addr)
@@ -181,6 +195,7 @@ func (p traceProgram) Build() (*guest.Program, error) {
 		Entry:      p.t.Entry,
 		Code:       append([]byte(nil), p.t.Code...),
 		StaticInst: p.t.StaticInst,
+		ISA:        p.t.ISA,
 	}
 	for _, seg := range p.t.Data {
 		img.Data = append(img.Data, guest.DataSeg{Addr: seg.Addr, Bytes: append([]byte(nil), seg.Bytes...)})

@@ -112,6 +112,12 @@ type Spec struct {
 	Suite Suite
 	Seed  int64
 
+	// ISA selects the guest frontend the program is generated for:
+	// "" or "x86" (the default x86 generator) or "rv32" (the RV32I
+	// generator in rv32gen.go). The same structural knobs drive both,
+	// so one spec describes the benchmark across frontends.
+	ISA string `json:",omitempty"`
+
 	// Hot kernels (SBM-bound code).
 	HotKernels int // number of distinct hot loops
 	KernelLen  int // straight-line guest instructions per kernel body
@@ -159,6 +165,17 @@ const MaxFootprint = 1 << 23
 // outside the vetted catalog (the file: source decodes arbitrary
 // JSON), so ranges are enforced, not assumed.
 func (s *Spec) Validate() error {
+	switch s.ISA {
+	case "", "x86":
+	case "rv32":
+		// The RV32I frontend has no FP encodings; a spec asking for FP
+		// operations under it cannot be generated faithfully.
+		if s.FPFrac != 0 {
+			return fmt.Errorf("workload %s: FPFrac %g under ISA rv32 (RV32I has no FP)", s.Name, s.FPFrac)
+		}
+	default:
+		return fmt.Errorf("workload %s: unknown ISA %q (want x86 or rv32)", s.Name, s.ISA)
+	}
 	for _, f := range []struct {
 		name string
 		v    int
@@ -294,10 +311,13 @@ func (t *pendingTable) resolve(b *guest.Builder) (guest.DataSeg, error) {
 	return guest.DataSeg{Addr: t.base, Bytes: raw}, nil
 }
 
-// Build synthesizes the guest program.
+// Build synthesizes the guest program for the spec's frontend.
 func (s Spec) Build() (*guest.Program, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if s.ISA == "rv32" {
+		return s.buildRV32()
 	}
 	b := guest.NewBuilder()
 	b.Label("start")

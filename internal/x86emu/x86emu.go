@@ -1,108 +1,26 @@
-// Package x86emu implements the "x86 component" of the simulation
-// infrastructure: a functional emulator of the guest ISA that maintains
-// the authoritative architectural state and memory image. The co-design
-// component is verified against it by co-simulation — the debugging
-// technique the paper describes (state checking at translation
-// boundaries).
+// Package x86emu is the x86 instance of the reference-emulator
+// interface in package emu. It predates the second guest frontend;
+// existing callers keep the x86-pinned constructor and type name,
+// while ISA-agnostic code (the TOL cosim shadow) uses emu.New
+// directly.
 package x86emu
 
 import (
 	"fmt"
 
+	"repro/internal/emu"
 	"repro/internal/guest"
-	"repro/internal/mem"
 )
 
 // Emulator is the authoritative guest-ISA functional emulator.
-type Emulator struct {
-	State guest.State
-	Mem   *mem.Sparse
+type Emulator = emu.Emulator
 
-	// dec memoizes fetch+decode per EIP; guest code is immutable once
-	// loaded, so the authoritative semantics are unchanged.
-	dec *guest.DecodeCache
-
-	// Statistics over the authoritative execution.
-	DynInsts     uint64
-	DynBranches  uint64
-	DynIndirect  uint64
-	DynMemOps    uint64
-	DynFP        uint64
-	Halted       bool
-	TakenTargets map[uint32]uint64 // indirect-branch target histogram (optional)
-}
-
-// New creates an emulator with the program loaded and registers
-// initialized.
+// New creates an x86 emulator with the program loaded and registers
+// initialized. It refuses programs built for another frontend — those
+// go through emu.New, which resolves the frontend from the program.
 func New(p *guest.Program) *Emulator {
-	e := &Emulator{Mem: mem.NewSparse(), dec: guest.NewDecodeCache()}
-	e.State = p.LoadInto(e.Mem)
-	return e
-}
-
-// Step executes a single guest instruction, updating statistics.
-func (e *Emulator) Step() (guest.StepResult, error) {
-	if e.Halted {
-		return guest.StepResult{Halted: true}, nil
+	if p.ISA != "" && p.ISA != guest.X86.Name {
+		panic(fmt.Sprintf("x86emu: program is %q, not x86; use emu.New", p.ISA))
 	}
-	// Lazy init keeps hand-rolled (non-New) Emulator values working,
-	// as they did before the decode cache existed; New pre-populates
-	// dec so the branch never fires on the cosim path.
-	if e.dec == nil {
-		e.dec = guest.NewDecodeCache()
-	}
-	var res guest.StepResult
-	if err := e.dec.Step(&e.State, e.Mem, &res); err != nil {
-		return res, err
-	}
-	if res.Halted {
-		e.Halted = true
-		return res, nil
-	}
-	e.DynInsts++
-	if res.Inst.IsBranch() {
-		e.DynBranches++
-		if res.Inst.IsIndirectBranch() {
-			e.DynIndirect++
-			if e.TakenTargets != nil {
-				e.TakenTargets[res.Target]++
-			}
-		}
-	}
-	if res.Inst.IsMemAccess() {
-		e.DynMemOps++
-	}
-	if res.Inst.IsFP() {
-		e.DynFP++
-	}
-	return res, nil
-}
-
-// StepN executes up to n instructions or until halt, returning the
-// number actually executed.
-func (e *Emulator) StepN(n uint64) (uint64, error) {
-	var done uint64
-	for done < n && !e.Halted {
-		if _, err := e.Step(); err != nil {
-			return done, err
-		}
-		if e.Halted {
-			break
-		}
-		done++
-	}
-	return done, nil
-}
-
-// Run executes until halt or the instruction budget is exhausted.
-func (e *Emulator) Run(budget uint64) error {
-	for !e.Halted {
-		if e.DynInsts >= budget {
-			return fmt.Errorf("x86emu: budget of %d instructions exhausted at eip=%#x", budget, e.State.EIP)
-		}
-		if _, err := e.Step(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return emu.New(p)
 }

@@ -139,6 +139,11 @@ func main() {
 		c := rep.Coverage
 		fmt.Printf("coverage: %d guest insts, %d BB translations, %d promotions, %d evictions, %d retranslations, %d IBTC fills, %d IBTC hits, %d cosim checks\n",
 			c.DynTotal, c.BBTranslated, c.Promotions, c.Evictions, c.Retranslations, c.IBTCFills, c.IBTCHits, c.CosimChecks)
+		for _, isa := range []string{"x86", "rv32"} {
+			if dyn, ok := c.ByISA[isa]; ok {
+				fmt.Printf("coverage[%s]: %d guest insts\n", isa, dyn)
+			}
+		}
 	}
 	if rep.Divergences > 0 || rep.Failures > 0 {
 		os.Exit(1)
@@ -155,6 +160,12 @@ func addCoverage(a, b fuzz.Coverage) fuzz.Coverage {
 	a.IBTCHits += b.IBTCHits
 	a.Chains += b.Chains
 	a.CosimChecks += b.CosimChecks
+	for isa, dyn := range b.ByISA {
+		if a.ByISA == nil {
+			a.ByISA = make(map[string]uint64)
+		}
+		a.ByISA[isa] += dyn
+	}
 	return a
 }
 
